@@ -1,0 +1,91 @@
+// Ablation study motivated by §III's claims: how much do the MFA blocks and
+// the transformer bottleneck each contribute?
+//
+// Four variants trained under the Table I protocol on a design subset:
+//   full        MFA + transformer (the paper's model)
+//   no-vit      MFA blocks only (transformer_layers = 0)
+//   no-mfa      transformer only (MFA blocks replaced by pass-through)
+//   plain       neither (reduces to the PROS2-style ResNet U-Net)
+//
+// Knobs: MFA_AB_DESIGNS (4), MFA_AB_PLACEMENTS (3), MFA_AB_EPOCHS (60).
+// The data/epoch scale matches the Table I protocol: with much less
+// training data the attention components cannot amortise their capacity
+// and the ordering inverts (see DESIGN.md calibration notes).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/log.h"
+#include "models/congestion_model.h"
+#include "netlist/generator.h"
+#include "train/dataset.h"
+#include "train/trainer.h"
+
+using namespace mfa;
+
+int main() {
+  log::set_level(log::Level::Warn);
+  const auto device = bench::experiment_device();
+  const auto grid = bench::env_int("MFA_GRID", 64);
+  const auto seed = static_cast<std::uint64_t>(bench::env_int("MFA_SEED", 1));
+
+  const std::vector<std::string> design_names = {"Design_116", "Design_180",
+                                                 "Design_190", "Design_136"};
+  const auto ndesigns = std::min<std::int64_t>(
+      bench::env_int("MFA_AB_DESIGNS", 4),
+      static_cast<std::int64_t>(design_names.size()));
+
+  std::vector<train::Sample> train_set, eval_set;
+  for (std::int64_t i = 0; i < ndesigns; ++i) {
+    train::DatasetOptions dopt;
+    dopt.grid = grid;
+    dopt.placements_per_design = bench::env_int("MFA_AB_PLACEMENTS", 3);
+    dopt.seed = seed;
+    const auto samples = train::DatasetBuilder::build_for_design(
+        netlist::mlcad2023_spec(design_names[static_cast<size_t>(i)]), device,
+        dopt);
+    std::vector<train::Sample> t, e;
+    train::DatasetBuilder::split(samples, 3, t, e);
+    train_set.insert(train_set.end(), t.begin(), t.end());
+    eval_set.insert(eval_set.end(), e.begin(), e.end());
+  }
+  std::printf("=== Ablation: MFA blocks and transformer bottleneck ===\n");
+  std::printf("(%lld designs, %zu train / %zu eval samples)\n\n",
+              static_cast<long long>(ndesigns), train_set.size(),
+              eval_set.size());
+
+  struct Variant {
+    const char* name;
+    bool use_mfa;
+    std::int64_t vit_layers;
+  };
+  const std::vector<Variant> variants = {
+      {"full (MFA+ViT)", true, bench::env_int("MFA_VIT_LAYERS", 2)},
+      {"no-vit (MFA only)", true, 0},
+      {"no-mfa (ViT only)", false, bench::env_int("MFA_VIT_LAYERS", 2)},
+      {"plain (neither)", false, 0},
+  };
+
+  std::printf("%-20s %8s %8s %8s %8s\n", "variant", "params", "ACC", "R2",
+              "NRMS");
+  for (const auto& variant : variants) {
+    models::ModelConfig config;
+    config.grid = grid;
+    config.base_channels = bench::env_int("MFA_CHANNELS", 8);
+    config.use_mfa = variant.use_mfa;
+    config.transformer_layers = variant.vit_layers;
+    config.seed = seed + 7;
+    auto model = models::make_model("ours", config);
+    train::TrainOptions topt;
+    topt.epochs = bench::env_int("MFA_AB_EPOCHS", 60);
+    topt.batch_size = 4;
+    topt.seed = seed + 13;
+    train::Trainer::fit(*model, train_set, topt);
+    const auto r = train::Trainer::evaluate(*model, eval_set);
+    std::printf("%-20s %8lld %8.3f %8.3f %8.3f\n", variant.name,
+                static_cast<long long>(model->network().num_parameters()),
+                r.acc, r.r2, r.nrms);
+  }
+  return 0;
+}

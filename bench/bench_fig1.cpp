@@ -1,0 +1,68 @@
+// Reproduces Fig. 1: "An example of a target FPGA interconnect tile grid"
+// — the colour-coded congestion-level map of a routed placement, printed as
+// an ASCII heat map with per-direction short/global design levels and the
+// resulting S_IR (Eq. 1).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/log.h"
+#include "netlist/generator.h"
+#include "place/legalizer.h"
+#include "place/placer.h"
+#include "route/router.h"
+#include "route/score.h"
+
+using namespace mfa;
+
+int main() {
+  log::set_level(log::Level::Warn);
+  const auto device = bench::experiment_device();
+  const auto design = netlist::DesignGenerator::generate(
+      netlist::mlcad2023_spec("Design_116"), device);
+
+  // A deliberately under-spread placement so the map shows level structure.
+  place::PlacementProblem problem(design, device);
+  place::PlacerOptions popt;
+  popt.seed = static_cast<std::uint64_t>(bench::env_int("MFA_SEED", 1));
+  place::GlobalPlacer placer(problem, popt);
+  placer.init_random();
+  placer.iterate(bench::env_int("MFA_FIG1_ITERS", 120));
+  place::Placement placement = placer.placement();
+  place::Legalizer::legalize_macros(problem, placement);
+
+  std::vector<double> cx, cy;
+  placement.expand(problem, cx, cy);
+  route::RouterOptions ropt;  // default 64x64 grid, calibrated capacities
+  route::GlobalRouter router(design, device, ropt);
+  router.initial_route(cx, cy);
+  const auto analysis = router.analyze();
+
+  std::printf("=== Fig. 1: interconnect tile grid congestion levels ===\n");
+  std::printf("(Design_116, 64x64 tile grid; darker = higher congestion "
+              "level)\n\n");
+  const char shades[] = " .:-=+*#%@";
+  for (std::int64_t gy = analysis.gh - 1; gy >= 0; --gy) {
+    std::printf("  ");
+    for (std::int64_t gx = 0; gx < analysis.gw; ++gx) {
+      const auto level = static_cast<int>(
+          analysis.label[static_cast<size_t>(gy * analysis.gw + gx)]);
+      std::printf("%c", shades[level]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n  legend: ");
+  for (int l = 0; l <= 7; ++l) std::printf(" %d='%c'", l, shades[l]);
+  std::printf("\n\nPer-direction design congestion levels:\n");
+  std::printf("  %-8s %6s %6s %6s %6s\n", "", "east", "south", "west",
+              "north");
+  for (const auto wc : {route::WireClass::Short, route::WireClass::Global}) {
+    std::printf("  %-8s", fpga::to_string(wc));
+    for (size_t d = 0; d < fpga::kNumDirections; ++d)
+      std::printf(" %6d",
+                  analysis.design_level(wc, static_cast<route::Direction>(d)));
+    std::printf("\n");
+  }
+  std::printf("\nS_IR (Eq. 1) = %.0f\n", route::score::s_ir(analysis));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Architecture self-check for Figs. 2/3/4/5: instantiates the proposed
+// model, verifies every stage's tensor dimensions against the paper's
+// [C,H/2,W/2] ... [8C,H/16,W/16] table, and reports parameter counts of all
+// Table I models.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "models/congestion_model.h"
+#include "models/mfa_net.h"
+#include "tensor/ops.h"
+
+using namespace mfa;
+
+int main() {
+  models::ModelConfig config;
+  config.grid = bench::env_int("MFA_GRID", 64);
+  config.base_channels = bench::env_int("MFA_CHANNELS", 8);
+  config.transformer_layers = bench::env_int("MFA_VIT_LAYERS", 2);
+
+  std::printf("=== Fig. 5 architecture self-check (grid %lld, C=%lld, "
+              "L=%lld transformer layers) ===\n\n",
+              static_cast<long long>(config.grid),
+              static_cast<long long>(config.base_channels),
+              static_cast<long long>(config.transformer_layers));
+
+  models::MfaTransformerNet net(config);
+  const auto shapes = net.stage_shapes();
+  const auto print3 = [](const char* tag, const std::array<std::int64_t, 3>& s,
+                         const char* expect) {
+    std::printf("  %-18s [%3lld, %3lld, %3lld]   paper: %s\n", tag,
+                static_cast<long long>(s[0]), static_cast<long long>(s[1]),
+                static_cast<long long>(s[2]), expect);
+  };
+  print3("Down1 + MFA1", shapes.encoder[0], "[C,  H/2,  W/2 ]");
+  print3("Down2 + MFA2", shapes.encoder[1], "[2C, H/4,  W/4 ]");
+  print3("Down3 + MFA3", shapes.encoder[2], "[4C, H/8,  W/8 ]");
+  print3("Down4 + MFA4", shapes.encoder[3], "[8C, H/16, W/16]");
+  print3("MFA5 + ViT", shapes.bottleneck, "[8C, H/16, W/16]");
+  print3("Up1", shapes.decoder[0], "[2C, H/8,  W/8 ]");
+  print3("Up2", shapes.decoder[1], "[C,  H/4,  W/4 ]");
+  print3("Up3", shapes.decoder[2], "[C/2,H/2,  W/2 ]");
+  print3("Up4 + softmax", shapes.decoder[3], "[8,  H,    W   ]");
+
+  // Live forward pass confirms the static table.
+  Tensor x = Tensor::zeros({1, 6, config.grid, config.grid});
+  Tensor logits = net.forward(x);
+  std::printf("\n  forward([1,6,%lld,%lld]) -> %s (expected [1, 8, %lld, "
+              "%lld])\n",
+              static_cast<long long>(config.grid),
+              static_cast<long long>(config.grid),
+              shape_str(logits.shape()).c_str(),
+              static_cast<long long>(config.grid),
+              static_cast<long long>(config.grid));
+
+  std::printf("\nParameter counts (Table I model set):\n");
+  for (const char* name : {"unet", "pgnn", "pros2", "ours"}) {
+    auto model = models::make_model(name, config);
+    std::printf("  %-6s %8lld parameters\n", name,
+                static_cast<long long>(model->network().num_parameters()));
+  }
+  // Paper-scale instantiation (256 grid, 12 layers) parameter count only.
+  models::ModelConfig paper = config;
+  paper.grid = 256;
+  paper.transformer_layers = 12;
+  auto paper_model = models::make_model("ours", paper);
+  std::printf("  ours @ paper scale (grid 256, L=12): %lld parameters\n",
+              static_cast<long long>(
+                  paper_model->network().num_parameters()));
+  return 0;
+}

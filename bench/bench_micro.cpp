@@ -1,0 +1,152 @@
+// Micro-benchmarks of the substrates (google-benchmark): NN kernels, MFA /
+// transformer blocks, feature extraction, router and placer throughput.
+#include <benchmark/benchmark.h>
+
+#include "features/features.h"
+#include "models/blocks.h"
+#include "netlist/generator.h"
+#include "nn/attention.h"
+#include "place/legalizer.h"
+#include "place/placer.h"
+#include "route/router.h"
+#include "tensor/ops.h"
+
+using namespace mfa;
+
+namespace {
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto channels = state.range(0);
+  Rng rng(1);
+  Tensor x = Tensor::randn({1, channels, 64, 64}, rng);
+  Tensor w = Tensor::randn({channels, channels, 3, 3}, rng, 0.1f);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    Tensor y = ops::conv2d(x, w, Tensor(), 1, 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dTrainStep(benchmark::State& state) {
+  Rng rng(2);
+  Tensor x = Tensor::randn({4, 8, 64, 64}, rng);
+  Tensor w = Tensor::randn({8, 8, 3, 3}, rng, 0.1f, /*requires_grad=*/true);
+  for (auto _ : state) {
+    w.zero_grad();
+    Tensor y = ops::conv2d(x, w, Tensor(), 1, 1);
+    ops::sum(ops::mul(y, y)).backward();
+    benchmark::DoNotOptimize(w.grad().data());
+  }
+}
+BENCHMARK(BM_Conv2dTrainStep);
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(3);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(256);
+
+void BM_MfaBlock(benchmark::State& state) {
+  Rng rng(4);
+  models::MfaBlock block(64, rng);
+  block.train(false);
+  Tensor x = Tensor::randn({1, 64, 16, 16}, rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    Tensor y = block.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MfaBlock);
+
+void BM_TransformerLayer(benchmark::State& state) {
+  Rng rng(5);
+  nn::TransformerEncoderLayer layer(64, 4, 256, rng);
+  layer.train(false);
+  Tensor x = Tensor::randn({1, 16, 64}, rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    Tensor y = layer.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_TransformerLayer);
+
+struct FlowFixture {
+  fpga::DeviceGrid device = fpga::DeviceGrid::make_xcvu3p_like(60, 40);
+  netlist::Design design = netlist::DesignGenerator::generate(
+      netlist::mlcad2023_spec("Design_116"), device);
+};
+
+FlowFixture& fixture() {
+  static FlowFixture f;
+  return f;
+}
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  auto& f = fixture();
+  Rng rng(6);
+  std::vector<double> cx(static_cast<size_t>(f.design.num_cells()));
+  std::vector<double> cy(cx.size());
+  for (auto& v : cx) v = rng.uniform(0.0, 60.0);
+  for (auto& v : cy) v = rng.uniform(0.0, 40.0);
+  for (auto _ : state) {
+    Tensor feats = features::extract_features(f.design, f.device, cx, cy);
+    benchmark::DoNotOptimize(feats.data());
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_PlacerIteration(benchmark::State& state) {
+  auto& f = fixture();
+  place::PlacementProblem problem(f.design, f.device);
+  place::GlobalPlacer placer(problem, {});
+  placer.init_random();
+  for (auto _ : state) {
+    placer.iterate(1);
+    benchmark::DoNotOptimize(placer.placement().x.data());
+  }
+}
+BENCHMARK(BM_PlacerIteration);
+
+void BM_InitialRoute(benchmark::State& state) {
+  auto& f = fixture();
+  place::PlacementProblem problem(f.design, f.device);
+  place::GlobalPlacer placer(problem, {});
+  placer.init_random();
+  placer.iterate(40);
+  std::vector<double> cx, cy;
+  placer.placement().expand(problem, cx, cy);
+  route::GlobalRouter router(f.design, f.device);
+  for (auto _ : state) {
+    router.initial_route(cx, cy);
+    benchmark::DoNotOptimize(router.routed_wirelength());
+  }
+}
+BENCHMARK(BM_InitialRoute);
+
+void BM_MacroLegalization(benchmark::State& state) {
+  auto& f = fixture();
+  place::PlacementProblem problem(f.design, f.device);
+  place::GlobalPlacer placer(problem, {});
+  placer.init_random();
+  placer.iterate(20);
+  for (auto _ : state) {
+    place::Placement placement = placer.placement();
+    const auto result = place::Legalizer::legalize_macros(problem, placement);
+    benchmark::DoNotOptimize(result.macros_placed);
+  }
+}
+BENCHMARK(BM_MacroLegalization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

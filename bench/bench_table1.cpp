@@ -1,0 +1,174 @@
+// Reproduces Table I: "Prediction comparison of different ML-based methods
+// on the MLCAD 2023 benchmarks".
+//
+// Protocol (paper §V-A/B at library scale; see DESIGN.md):
+//   * the ten most congested contest designs, synthesised by the generator;
+//   * per design, a placement parameter sweep with 90/180/270-degree
+//     rotation augmentation; a quarter of the placements (with their rotated
+//     copies) are held out for evaluation;
+//   * U-Net [6], PGNN [7], PROS 2.0 [8] and the proposed model are trained
+//     on the pooled training set (Adam, lr 1e-3) and evaluated per design.
+//
+// Knobs (environment): MFA_T1_PLACEMENTS (default 4), MFA_T1_EPOCHS (60),
+// MFA_T1_DESIGNS (10), MFA_GRID (64), MFA_SEED (1).
+#include <cstdio>
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/log.h"
+#include "models/congestion_model.h"
+#include "netlist/generator.h"
+#include "train/dataset.h"
+#include "train/trainer.h"
+
+using namespace mfa;
+
+namespace {
+
+struct DesignData {
+  std::string name;
+  std::vector<train::Sample> train;
+  std::vector<train::Sample> eval;
+  std::int64_t luts, ffs, dsps, brams;
+};
+
+struct Row {
+  double acc = 0.0, r2 = 0.0, nrms = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  log::set_level(log::Level::Warn);
+  const auto device = bench::experiment_device();
+  const auto grid = bench::env_int("MFA_GRID", 64);
+  const auto placements = bench::env_int("MFA_T1_PLACEMENTS", 4);
+  const auto epochs = bench::env_int("MFA_T1_EPOCHS", 60);
+  const auto ndesigns = bench::env_int("MFA_T1_DESIGNS", 10);
+  const auto seed = static_cast<std::uint64_t>(bench::env_int("MFA_SEED", 1));
+
+  // The ten Table I designs, in the paper's row order.
+  const std::vector<std::string> design_names = {
+      "Design_116", "Design_120", "Design_136", "Design_156", "Design_176",
+      "Design_180", "Design_190", "Design_197", "Design_227", "Design_237"};
+
+  std::printf("=== Table I: prediction comparison on the MLCAD 2023 "
+              "benchmarks ===\n");
+  std::printf("(device %lldx%lld, grid %lld, %lld placements x4 rotations "
+              "per design, %lld epochs)\n\n",
+              static_cast<long long>(device.cols()),
+              static_cast<long long>(device.rows()),
+              static_cast<long long>(grid), static_cast<long long>(placements),
+              static_cast<long long>(epochs));
+
+  // ---- dataset generation ----
+  std::vector<DesignData> designs;
+  std::vector<train::Sample> pooled_train;
+  for (std::int64_t i = 0; i < ndesigns; ++i) {
+    const auto& name = design_names[static_cast<size_t>(i)];
+    const auto spec = netlist::mlcad2023_spec(name);
+    const auto design = netlist::DesignGenerator::generate(spec, device);
+    train::DatasetOptions dopt;
+    dopt.grid = grid;
+    dopt.placements_per_design = placements;
+    dopt.seed = seed;
+    const auto samples =
+        train::DatasetBuilder::build_for_design(spec, device, dopt);
+    DesignData dd;
+    dd.name = name;
+    dd.luts = design.count(fpga::Resource::Lut);
+    dd.ffs = design.count(fpga::Resource::Ff);
+    dd.dsps = design.count(fpga::Resource::Dsp);
+    dd.brams = design.count(fpga::Resource::Bram);
+    // Hold out one placement in four (or the last one when fewer were
+    // generated) so every design has a non-empty eval set.
+    train::DatasetBuilder::split(samples, std::min<std::int64_t>(4, placements),
+                                 dd.train, dd.eval);
+    pooled_train.insert(pooled_train.end(), dd.train.begin(), dd.train.end());
+    designs.push_back(std::move(dd));
+    std::fprintf(stderr, "[table1] dataset %s: %zu train / %zu eval\n",
+                 name.c_str(), designs.back().train.size(),
+                 designs.back().eval.size());
+  }
+
+  // ---- train each model on the pooled set, evaluate per design ----
+  const std::vector<std::string> model_names = {"unet", "pgnn", "pros2",
+                                                "ours"};
+  std::map<std::string, std::map<std::string, Row>> results;
+  std::map<std::string, Row> averages;
+  std::map<std::string, Row> pooled_rows;
+  for (const auto& model_name : model_names) {
+    models::ModelConfig config;
+    config.grid = grid;
+    config.base_channels = bench::env_int("MFA_CHANNELS", 8);
+    config.transformer_layers = bench::env_int("MFA_VIT_LAYERS", 2);
+    config.seed = seed + 7;
+    auto model = models::make_model(model_name, config);
+    train::TrainOptions topt;
+    topt.epochs = epochs;
+    topt.batch_size = 4;
+    topt.seed = seed + 13;
+    topt.verbose = false;
+    const double loss = train::Trainer::fit(*model, pooled_train, topt);
+    std::fprintf(stderr, "[table1] trained %s (final loss %.3f)\n",
+                 model_name.c_str(), loss);
+    Row avg;
+    std::vector<train::Sample> pooled_eval;
+    for (const auto& dd : designs) {
+      const auto r = train::Trainer::evaluate(*model, dd.eval);
+      results[model_name][dd.name] = {r.acc, r.r2, r.nrms};
+      avg.acc += r.acc / static_cast<double>(designs.size());
+      avg.r2 += r.r2 / static_cast<double>(designs.size());
+      avg.nrms += r.nrms / static_cast<double>(designs.size());
+      pooled_eval.insert(pooled_eval.end(), dd.eval.begin(), dd.eval.end());
+    }
+    averages[model_name] = avg;
+    // Pooled metrics over every eval tile at once: more stable than the
+    // mean of per-design values when each design holds out few placements.
+    const auto pooled = train::Trainer::evaluate(*model, pooled_eval);
+    pooled_rows[model_name] = {pooled.acc, pooled.r2, pooled.nrms};
+  }
+
+  // ---- print in the paper's layout ----
+  std::printf("%-12s %6s %6s %6s %6s |", "Design", "#LUT", "#FF", "#DSP",
+              "#BRAM");
+  for (const auto& m : model_names)
+    std::printf("  %-6s ACC    R2     NRMS |", m.c_str());
+  std::printf("\n");
+  for (const auto& dd : designs) {
+    std::printf("%-12s %6lld %6lld %6lld %6lld |",
+                dd.name.c_str(), static_cast<long long>(dd.luts),
+                static_cast<long long>(dd.ffs),
+                static_cast<long long>(dd.dsps),
+                static_cast<long long>(dd.brams));
+    for (const auto& m : model_names) {
+      const Row& r = results[m][dd.name];
+      std::printf("        %6.3f %6.3f %5.3f |", r.acc, r.r2, r.nrms);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-12s %27s |", "Average", "");
+  for (const auto& m : model_names) {
+    const Row& r = averages[m];
+    std::printf("        %6.3f %6.3f %5.3f |", r.acc, r.r2, r.nrms);
+  }
+  std::printf("\n%-12s %27s |", "Pooled", "");
+  for (const auto& m : model_names) {
+    const Row& r = pooled_rows[m];
+    std::printf("        %6.3f %6.3f %5.3f |", r.acc, r.r2, r.nrms);
+  }
+  std::printf("\n%-12s %27s |", "Ratio", "");
+  const Row& ours = pooled_rows["ours"];
+  for (const auto& m : model_names) {
+    const Row& r = pooled_rows[m];
+    std::printf("        %6.3f %6.3f %5.3f |", r.acc / ours.acc,
+                r.r2 / ours.r2, r.nrms / ours.nrms);
+  }
+  std::printf("\n\nPaper reference (Table I averages): U-Net .792/.808/.178, "
+              "PGNN .828/.833/.168, PROS2.0 .852/.849/.156, "
+              "Ours .885/.878/.139\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Shared helpers for the reproduction benches: environment-variable knobs
+// and the experiment-scale defaults documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "fpga/device.h"
+
+namespace mfa::bench {
+
+/// Integer knob: MFA_<NAME> environment variable with a default.
+inline std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoll(v) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+/// The default experiment device (see DESIGN.md scale note): an XCVU3P-like
+/// columnar fabric at CPU-tractable scale.
+inline fpga::DeviceGrid experiment_device() {
+  return fpga::DeviceGrid::make_xcvu3p_like(
+      env_int("MFA_DEVICE_COLS", 60), env_int("MFA_DEVICE_ROWS", 40));
+}
+
+}  // namespace mfa::bench

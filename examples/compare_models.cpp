@@ -1,0 +1,47 @@
+// Compares all four Table I models (U-Net, PGNN, PROS 2.0, ours) on one
+// design with a small training budget — a miniature of bench_table1.
+//
+// Usage: compare_models [design_name] [epochs]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.h"
+#include "models/congestion_model.h"
+#include "netlist/generator.h"
+#include "train/dataset.h"
+#include "train/trainer.h"
+
+using namespace mfa;
+
+int main(int argc, char** argv) {
+  log::set_level(log::Level::Warn);
+  const std::string design_name = argc > 1 ? argv[1] : "Design_190";
+  const std::int64_t epochs = argc > 2 ? std::atoll(argv[2]) : 15;
+  const auto device = fpga::DeviceGrid::make_xcvu3p_like(60, 40);
+
+  train::DatasetOptions dopt;
+  dopt.placements_per_design = 6;
+  const auto samples = train::DatasetBuilder::build_for_design(
+      netlist::mlcad2023_spec(design_name), device, dopt);
+  std::vector<train::Sample> train_set, eval_set;
+  train::DatasetBuilder::split(samples, 4, train_set, eval_set);
+  std::printf("%s: %zu train / %zu eval samples, %lld epochs\n\n",
+              design_name.c_str(), train_set.size(), eval_set.size(),
+              static_cast<long long>(epochs));
+
+  std::printf("%-8s %10s %8s %8s %8s\n", "model", "params", "ACC", "R2",
+              "NRMS");
+  for (const char* name : {"unet", "pgnn", "pros2", "ours"}) {
+    models::ModelConfig config;
+    auto model = models::make_model(name, config);
+    train::TrainOptions topt;
+    topt.epochs = epochs;
+    train::Trainer::fit(*model, train_set, topt);
+    const auto r = train::Trainer::evaluate(*model, eval_set);
+    std::printf("%-8s %10lld %8.3f %8.3f %8.3f\n", name,
+                static_cast<long long>(model->network().num_parameters()),
+                r.acc, r.r2, r.nrms);
+  }
+  return 0;
+}

@@ -1,0 +1,204 @@
+// Command-line driver for the library: generate / place / route / train /
+// flow on any MLCAD design, with model checkpointing so a predictor can be
+// trained once and reused across placement runs.
+//
+//   mfa_cli generate Design_116
+//   mfa_cli place    Design_116 [iterations]
+//   mfa_cli route    Design_116 [iterations]
+//   mfa_cli train    Design_116 model.ckpt [placements] [epochs]
+//   mfa_cli flow     Design_116 <ours|utda|seu|mpku> [model.ckpt]
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "flow/flow.h"
+#include "netlist/generator.h"
+#include "nn/checkpoint.h"
+#include "place/legalizer.h"
+#include "place/placer.h"
+#include "route/router.h"
+#include "route/score.h"
+#include "train/dataset.h"
+#include "train/trainer.h"
+
+using namespace mfa;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mfa_cli <command> <design> [args]\n"
+               "  generate <design>\n"
+               "  place    <design> [iterations=150]\n"
+               "  route    <design> [iterations=150]\n"
+               "  train    <design> <model.ckpt> [placements=6] [epochs=30]\n"
+               "  flow     <design> <ours|utda|seu|mpku> [model.ckpt]\n"
+               "designs: Design_116 120 136 156 176 180 190 197 227 230 237\n");
+  return 2;
+}
+
+fpga::DeviceGrid make_device() {
+  return fpga::DeviceGrid::make_xcvu3p_like(60, 40);
+}
+
+int cmd_generate(const std::string& name) {
+  const auto device = make_device();
+  const auto design = netlist::DesignGenerator::generate(
+      netlist::mlcad2023_spec(name), device);
+  std::printf("%s on %lldx%lld device\n", name.c_str(),
+              static_cast<long long>(device.cols()),
+              static_cast<long long>(device.rows()));
+  for (std::size_t r = 0; r < fpga::kNumResources; ++r) {
+    const auto res = static_cast<fpga::Resource>(r);
+    std::printf("  %-5s %6lld / %6lld (%.0f%% utilisation)\n",
+                fpga::to_string(res),
+                static_cast<long long>(design.count(res)),
+                static_cast<long long>(device.resource_capacity(res)),
+                100.0 * static_cast<double>(design.count(res)) /
+                    static_cast<double>(device.resource_capacity(res)));
+  }
+  std::printf("  nets %lld (avg degree %.2f), cascades %zu, regions %zu\n",
+              static_cast<long long>(design.num_nets()),
+              static_cast<double>(design.num_pins()) /
+                  static_cast<double>(design.num_nets()),
+              design.cascades.size(), design.regions.size());
+  return 0;
+}
+
+int cmd_place(const std::string& name, std::int64_t iterations) {
+  const auto device = make_device();
+  const auto design = netlist::DesignGenerator::generate(
+      netlist::mlcad2023_spec(name), device);
+  place::PlacementProblem problem(design, device);
+  place::GlobalPlacer placer(problem, {});
+  placer.init_random();
+  placer.iterate(iterations);
+  place::Placement placement = placer.placement();
+  const auto legal = place::Legalizer::legalize_macros(problem, placement);
+  const auto of = placer.overflow();
+  std::printf("%s: %lld GP iterations, HPWL %.0f, macros legalised %lld "
+              "(displacement %.1f)\n",
+              name.c_str(), static_cast<long long>(iterations),
+              placer.wirelength(), static_cast<long long>(legal.macros_placed),
+              legal.total_displacement);
+  std::printf("overflow:");
+  for (std::size_t r = 0; r < fpga::kNumResources; ++r)
+    std::printf(" %s %.3f", fpga::to_string(static_cast<fpga::Resource>(r)),
+                of[r]);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_route(const std::string& name, std::int64_t iterations) {
+  const auto device = make_device();
+  const auto design = netlist::DesignGenerator::generate(
+      netlist::mlcad2023_spec(name), device);
+  place::PlacementProblem problem(design, device);
+  place::GlobalPlacer placer(problem, {});
+  placer.init_random();
+  placer.iterate(iterations);
+  place::Placement placement = placer.placement();
+  place::Legalizer::legalize_macros(problem, placement);
+  std::vector<double> cx, cy;
+  placement.expand(problem, cx, cy);
+  route::GlobalRouter router(design, device,
+                             route::calibrated_router_options(device, 64, 64));
+  router.initial_route(cx, cy);
+  const auto analysis = router.analyze();
+  const double s_ir = route::score::s_ir(analysis);
+  const auto detail_iters = router.detailed_route();
+  const double s_dr = route::score::s_dr(detail_iters);
+  std::printf("%s: %lld connections, wirelength %.0f\n", name.c_str(),
+              static_cast<long long>(router.num_connections()),
+              router.routed_wirelength());
+  std::printf("S_IR %.0f, S_DR %.0f (%lld negotiation iterations), "
+              "S_R %.0f\n",
+              s_ir, s_dr, static_cast<long long>(detail_iters),
+              route::score::s_r(s_ir, s_dr));
+  return 0;
+}
+
+int cmd_train(const std::string& name, const std::string& ckpt,
+              std::int64_t placements, std::int64_t epochs) {
+  const auto device = make_device();
+  train::DatasetOptions dopt;
+  dopt.placements_per_design = placements;
+  const auto samples = train::DatasetBuilder::build_for_design(
+      netlist::mlcad2023_spec(name), device, dopt);
+  std::vector<train::Sample> train_set, eval_set;
+  train::DatasetBuilder::split(samples, std::min<std::int64_t>(4, placements),
+                               train_set, eval_set);
+  auto model = models::make_model("ours", models::ModelConfig{});
+  train::TrainOptions topt;
+  topt.epochs = epochs;
+  topt.verbose = true;
+  log::set_level(log::Level::Info);
+  train::Trainer::fit(*model, train_set, topt);
+  log::set_level(log::Level::Warn);
+  const auto r = train::Trainer::evaluate(*model, eval_set);
+  std::printf("eval: ACC %.3f R2 %.3f NRMS %.3f\n", r.acc, r.r2, r.nrms);
+  nn::save_checkpoint(model->network(), ckpt);
+  std::printf("saved model to %s\n", ckpt.c_str());
+  return 0;
+}
+
+int cmd_flow(const std::string& name, const std::string& strategy_name,
+             const char* ckpt) {
+  const auto device = make_device();
+  const auto design = netlist::DesignGenerator::generate(
+      netlist::mlcad2023_spec(name), device);
+  const auto strategy = flow::strategy_from_name(strategy_name);
+  std::unique_ptr<models::CongestionModel> model;
+  if (strategy == flow::Strategy::Ours) {
+    model = models::make_model("ours", models::ModelConfig{});
+    if (ckpt) {
+      nn::load_checkpoint(model->network(), ckpt);
+      std::printf("loaded model from %s\n", ckpt);
+    } else {
+      std::fprintf(stderr,
+                   "warning: no checkpoint given; using untrained weights\n");
+    }
+  }
+  flow::RoutabilityDrivenPlacer placer_flow(design, device, {});
+  const auto result = placer_flow.run(strategy, model.get());
+  std::printf("%s with %s:\n", name.c_str(), flow::to_string(strategy));
+  std::printf("  S_IR %.0f  S_DR %.0f  S_R %.0f  T_P&R %.2fh  "
+              "S_score %.2f  (T_macro %.2f min, %lld inflated)\n",
+              result.s_ir, result.s_dr, result.s_r, result.t_pr_hours,
+              result.s_score, result.t_macro_minutes,
+              static_cast<long long>(result.inflated_objects));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  log::set_level(log::Level::Warn);
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string design = argv[2];
+  try {
+    if (cmd == "generate") return cmd_generate(design);
+    if (cmd == "place")
+      return cmd_place(design, argc > 3 ? std::atoll(argv[3]) : 150);
+    if (cmd == "route")
+      return cmd_route(design, argc > 3 ? std::atoll(argv[3]) : 150);
+    if (cmd == "train") {
+      if (argc < 4) return usage();
+      return cmd_train(design, argv[3], argc > 4 ? std::atoll(argv[4]) : 6,
+                       argc > 5 ? std::atoll(argv[5]) : 30);
+    }
+    if (cmd == "flow") {
+      if (argc < 4) return usage();
+      return cmd_flow(design, argv[3], argc > 4 ? argv[4] : nullptr);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

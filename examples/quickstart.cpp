@@ -1,0 +1,86 @@
+// Quickstart: the full pipeline on one design in ~a minute.
+//
+//   1. synthesise an MLCAD-2023-like benchmark on the XCVU3P-like device,
+//   2. run the analytical global placer + macro legaliser,
+//   3. extract the six grid features of §III-B,
+//   4. route to obtain the ground-truth congestion-level map,
+//   5. run the (untrained) MFA+transformer predictor and compare maps.
+//
+// See examples/train_predictor.cpp for actually training the model.
+#include <cstdio>
+#include <vector>
+
+#include "features/features.h"
+#include "models/congestion_model.h"
+#include "netlist/generator.h"
+#include "place/legalizer.h"
+#include "place/placer.h"
+#include "route/router.h"
+#include "route/score.h"
+#include "tensor/ops.h"
+
+using namespace mfa;
+
+int main() {
+  // 1. Device + design.
+  const auto device = fpga::DeviceGrid::make_xcvu3p_like(60, 40);
+  const auto design = netlist::DesignGenerator::generate(
+      netlist::mlcad2023_spec("Design_116"), device);
+  std::printf("Design_116 (scaled): %lld cells, %lld nets, %lld macros, "
+              "%zu cascades, %zu regions\n",
+              static_cast<long long>(design.num_cells()),
+              static_cast<long long>(design.num_nets()),
+              static_cast<long long>(design.num_macros()),
+              design.cascades.size(), design.regions.size());
+
+  // 2. Global placement + macro legalisation.
+  place::PlacementProblem problem(design, device);
+  place::GlobalPlacer placer(problem, {});
+  placer.init_random();
+  const bool gate = placer.run_until_overflow_target();
+  place::Placement placement = placer.placement();
+  const auto legal = place::Legalizer::legalize_macros(problem, placement);
+  std::printf("placement: overflow gate %s, %lld macros legalised, "
+              "HPWL %.0f\n",
+              gate ? "met" : "NOT met",
+              static_cast<long long>(legal.macros_placed),
+              placer.wirelength());
+
+  // 3. Feature extraction.
+  std::vector<double> cx, cy;
+  placement.expand(problem, cx, cy);
+  const Tensor features =
+      features::extract_features(design, device, cx, cy);
+  std::printf("features: %s (%s)\n", shape_str(features.shape()).c_str(),
+              "macro / hnet / vnet / rudy / pin_rudy / cell_density");
+
+  // 4. Ground truth from the router.
+  route::GlobalRouter router(design, device);
+  router.initial_route(cx, cy);
+  const auto analysis = router.analyze();
+  std::printf("routed: %lld connections, wirelength %.0f, S_IR = %.0f\n",
+              static_cast<long long>(router.num_connections()),
+              router.routed_wirelength(), route::score::s_ir(analysis));
+
+  // 5. Model prediction (untrained weights -> near-constant map; train it
+  //    with examples/train_predictor.cpp).
+  models::ModelConfig config;
+  auto model = models::make_model("ours", config);
+  Tensor batched = ops::reshape(features, {1, 6, 64, 64});
+  Tensor predicted = model->predict_levels(batched);
+  float histogram[8] = {};
+  for (std::int64_t i = 0; i < predicted.numel(); ++i)
+    histogram[static_cast<int>(predicted.data()[i])] += 1.0f;
+  std::printf("untrained prediction histogram:");
+  for (int l = 0; l < 8; ++l)
+    std::printf(" L%d:%.0f", l, static_cast<double>(histogram[l]));
+  std::printf("\n");
+  float label_hist[8] = {};
+  for (const float v : analysis.label)
+    label_hist[std::min(7, static_cast<int>(v))] += 1.0f;
+  std::printf("ground-truth level histogram:  ");
+  for (int l = 0; l < 8; ++l)
+    std::printf(" L%d:%.0f", l, static_cast<double>(label_hist[l]));
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+namespace mfa::log {
+namespace {
+
+std::atomic<Level> g_level{Level::Info};
+
+void vemit(Level lvl, const char* tag, const char* fmt, va_list args) {
+  if (static_cast<int>(lvl) < static_cast<int>(g_level.load())) return;
+  std::fprintf(stderr, "[%s] ", tag);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level); }
+Level level() { return g_level.load(); }
+
+#define MFA_LOG_IMPL(fn, lvl, tag)            \
+  void fn(const char* fmt, ...) {             \
+    va_list args;                             \
+    va_start(args, fmt);                      \
+    vemit(lvl, tag, fmt, args);               \
+    va_end(args);                             \
+  }
+
+MFA_LOG_IMPL(debug, Level::Debug, "debug")
+MFA_LOG_IMPL(info, Level::Info, "info")
+MFA_LOG_IMPL(warn, Level::Warn, "warn")
+MFA_LOG_IMPL(error, Level::Error, "error")
+#undef MFA_LOG_IMPL
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    out.assign(buf.data(), static_cast<size_t>(n));
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace mfa::log

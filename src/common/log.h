@@ -1,0 +1,27 @@
+// Minimal leveled logger used across the library.
+//
+// Kept deliberately simple: a global level, printf-style free functions, and
+// an optional timestamp prefix. Benchmarks set the level to Warn so tables
+// are not interleaved with progress chatter.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace mfa::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level that is emitted.
+void set_level(Level level);
+Level level();
+
+void debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void error(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// printf-style formatting into a std::string (used by error messages).
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace mfa::log

@@ -1,0 +1,42 @@
+// Tiny fork-join helper for data-parallel loops in the numeric kernels.
+//
+// parallel_for splits [0, n) into contiguous chunks across a small thread
+// pool-less fork/join (threads are created per call; the kernels it guards are
+// coarse enough that creation cost is negligible, and this keeps the library
+// free of global state).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace mfa {
+
+/// Invokes fn(begin, end) over disjoint chunks covering [0, n).
+/// Runs inline when the range is small or hardware_concurrency is 1.
+inline void parallel_for(std::int64_t n,
+                         const std::function<void(std::int64_t, std::int64_t)>& fn,
+                         std::int64_t grain = 1024) {
+  if (n <= 0) return;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const auto max_threads = static_cast<std::int64_t>(std::min(hw, 16u));
+  const std::int64_t threads = std::min(max_threads, (n + grain - 1) / grain);
+  if (threads <= 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  const std::int64_t chunk = (n + threads - 1) / threads;
+  for (std::int64_t t = 0; t < threads; ++t) {
+    const std::int64_t begin = t * chunk;
+    const std::int64_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace mfa

@@ -1,0 +1,111 @@
+#include "features/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mfa::features {
+
+const char* channel_name(Channel c) {
+  switch (c) {
+    case kMacro:
+      return "macro";
+    case kHorizNetDensity:
+      return "hnet";
+    case kVertNetDensity:
+      return "vnet";
+    case kRudy:
+      return "rudy";
+    case kPinRudy:
+      return "pin_rudy";
+    case kCellDensity:
+      return "cell_density";
+    default:
+      return "?";
+  }
+}
+
+Tensor extract_features(const netlist::Design& design,
+                        const fpga::DeviceGrid& device,
+                        const std::vector<double>& cell_x,
+                        const std::vector<double>& cell_y,
+                        const FeatureOptions& options) {
+  const auto ncells = design.num_cells();
+  if (static_cast<std::int64_t>(cell_x.size()) != ncells ||
+      static_cast<std::int64_t>(cell_y.size()) != ncells)
+    throw std::invalid_argument("extract_features: coordinate size mismatch");
+  const std::int64_t gw = options.grid_width;
+  const std::int64_t gh = options.grid_height;
+  const double sx = static_cast<double>(gw) / static_cast<double>(device.cols());
+  const double sy = static_cast<double>(gh) / static_cast<double>(device.rows());
+  const auto clamp_gx = [&](double x) {
+    return std::clamp<std::int64_t>(static_cast<std::int64_t>(x * sx), 0,
+                                    gw - 1);
+  };
+  const auto clamp_gy = [&](double y) {
+    return std::clamp<std::int64_t>(static_cast<std::int64_t>(y * sy), 0,
+                                    gh - 1);
+  };
+
+  Tensor out = Tensor::zeros({kNumChannels, gh, gw});
+  float* data = out.data();
+  const auto plane = [&](Channel c) {
+    return data + static_cast<std::int64_t>(c) * gh * gw;
+  };
+
+  // ---- macro map and cell density ----
+  for (std::int64_t i = 0; i < ncells; ++i) {
+    const auto gx = clamp_gx(cell_x[static_cast<size_t>(i)]);
+    const auto gy = clamp_gy(cell_y[static_cast<size_t>(i)]);
+    const auto idx = gy * gw + gx;
+    if (design.cells[static_cast<size_t>(i)].is_macro())
+      plane(kMacro)[idx] += 1.0f;
+    else
+      plane(kCellDensity)[idx] += 1.0f;
+  }
+
+  // ---- net-derived maps ----
+  for (const auto& net : design.nets) {
+    double lox = 1e30, hix = -1e30, loy = 1e30, hiy = -1e30;
+    for (const auto pin : net.pins) {
+      lox = std::min(lox, cell_x[static_cast<size_t>(pin)]);
+      hix = std::max(hix, cell_x[static_cast<size_t>(pin)]);
+      loy = std::min(loy, cell_y[static_cast<size_t>(pin)]);
+      hiy = std::max(hiy, cell_y[static_cast<size_t>(pin)]);
+    }
+    const auto gx0 = clamp_gx(lox), gx1 = clamp_gx(hix);
+    const auto gy0 = clamp_gy(loy), gy1 = clamp_gy(hiy);
+    const auto bw = static_cast<double>(gx1 - gx0 + 1);
+    const auto bh = static_cast<double>(gy1 - gy0 + 1);
+    // RUDY decomposition: horizontal wiring demand 1/bh, vertical 1/bw,
+    // pin demand #pins / area, uniformly over the bounding box.
+    const float hdens = static_cast<float>(net.weight / bh);
+    const float vdens = static_cast<float>(net.weight / bw);
+    const float pdens =
+        static_cast<float>(static_cast<double>(net.pins.size()) / (bw * bh));
+    for (std::int64_t gy = gy0; gy <= gy1; ++gy)
+      for (std::int64_t gx = gx0; gx <= gx1; ++gx) {
+        const auto idx = gy * gw + gx;
+        plane(kHorizNetDensity)[idx] += hdens;
+        plane(kVertNetDensity)[idx] += vdens;
+        plane(kPinRudy)[idx] += pdens;
+      }
+  }
+
+  // RUDY = horizontal + vertical superposition (paper §III-B).
+  for (std::int64_t i = 0; i < gh * gw; ++i)
+    plane(kRudy)[i] = plane(kHorizNetDensity)[i] + plane(kVertNetDensity)[i];
+
+  if (options.normalize) {
+    for (std::int64_t c = 0; c < kNumChannels; ++c) {
+      float* p = plane(static_cast<Channel>(c));
+      float mx = 0.0f;
+      for (std::int64_t i = 0; i < gh * gw; ++i) mx = std::max(mx, p[i]);
+      if (mx > 0.0f)
+        for (std::int64_t i = 0; i < gh * gw; ++i) p[i] /= mx;
+    }
+  }
+  return out;
+}
+
+}  // namespace mfa::features

@@ -1,0 +1,50 @@
+// Grid-based input features (paper §III-B).
+//
+// Six maps extracted from a placement, stacked as a [6, H, W] tensor in the
+// paper's order:
+//   0 Macro Map          - macro occupancy of each grid cell
+//   1 Horizontal Net Density - sum over nets of 1/bbox_height inside the bbox
+//   2 Vertical Net Density   - sum over nets of 1/bbox_width inside the bbox
+//   3 RUDY                   - superposition of (1) and (2)
+//   4 Pin RUDY               - sum over nets of #pins / bbox area inside bbox
+//   5 Cell Density            - number of cells per grid cell
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/device.h"
+#include "netlist/design.h"
+#include "tensor/tensor.h"
+
+namespace mfa::features {
+
+enum Channel : std::int64_t {
+  kMacro = 0,
+  kHorizNetDensity = 1,
+  kVertNetDensity = 2,
+  kRudy = 3,
+  kPinRudy = 4,
+  kCellDensity = 5,
+  kNumChannels = 6,
+};
+
+struct FeatureOptions {
+  std::int64_t grid_width = 64;
+  std::int64_t grid_height = 64;
+  /// Scale each channel to [0, 1] by its per-sample maximum (stabilises
+  /// training; matches the resize-and-normalise pipeline of §V-A).
+  bool normalize = true;
+};
+
+/// Extracts the six feature maps for a placement given per-cell coordinates
+/// in device units. Returns a [6, grid_height, grid_width] tensor.
+Tensor extract_features(const netlist::Design& design,
+                        const fpga::DeviceGrid& device,
+                        const std::vector<double>& cell_x,
+                        const std::vector<double>& cell_y,
+                        const FeatureOptions& options = {});
+
+const char* channel_name(Channel c);
+
+}  // namespace mfa::features

@@ -1,0 +1,121 @@
+#include "flow/flow.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "features/features.h"
+#include "place/legalizer.h"
+#include "tensor/ops.h"
+
+namespace mfa::flow {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double minutes_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count() / 60.0;
+}
+}  // namespace
+
+RoutabilityDrivenPlacer::RoutabilityDrivenPlacer(const netlist::Design& design,
+                                                 const fpga::DeviceGrid& device,
+                                                 FlowOptions options)
+    : design_(&design), device_(&device), options_(options) {}
+
+FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
+                                        models::CongestionModel* model) {
+  if (strategy == Strategy::Ours && model == nullptr)
+    throw std::invalid_argument("flow: Strategy::Ours needs a trained model");
+  const auto t_start = Clock::now();
+
+  // ---- stage 1: cascade clustering ----
+  place::PlacementProblem problem(*design_, *device_);
+
+  // ---- stage 2: region-aware global placement ----
+  place::PlacerOptions popt = options_.placer;
+  if (strategy == Strategy::MpkuImprove) {
+    // Multi-electrostatics emphasis: stronger spreading + fence handling.
+    popt.density_weight *= 1.5;
+    popt.region_weight *= 2.0;
+    popt.spread_interval = std::max<std::int64_t>(2, popt.spread_interval / 2);
+  }
+  place::GlobalPlacer placer(problem, popt);
+  placer.init_random();
+  placer.run_until_overflow_target();
+  if (placer.total_iterations() < options_.min_gp_iterations)
+    placer.iterate(options_.min_gp_iterations - placer.total_iterations());
+
+  // ---- stage 3: congestion prediction + inflation rounds ----
+  features::FeatureOptions fopt;
+  fopt.grid_width = options_.grid;
+  fopt.grid_height = options_.grid;
+  std::vector<double> cell_x, cell_y;
+  std::int64_t inflated = 0;
+  for (std::int64_t round = 0; round < options_.inflation_rounds; ++round) {
+    placer.placement().expand(problem, cell_x, cell_y);
+    std::vector<float> levels;
+    if (strategy == Strategy::Ours) {
+      // Model input uses the normalised feature stack it was trained on.
+      Tensor feats = features::extract_features(*design_, *device_, cell_x,
+                                                cell_y, fopt);
+      Tensor batched = mfa::ops::reshape(
+          feats, {1, feats.size(0), feats.size(1), feats.size(2)});
+      Tensor pred = model->predict_levels(batched);
+      levels.assign(pred.data(), pred.data() + pred.numel());
+    } else {
+      features::FeatureOptions raw = fopt;
+      raw.normalize = false;  // analytic estimates need raw demand units
+      Tensor feats = features::extract_features(*design_, *device_, cell_x,
+                                                cell_y, raw);
+      levels = analytic_levels(strategy, feats);
+    }
+    const auto stats = place::apply_inflation(
+        problem, placer.placement(), levels, options_.grid, options_.grid,
+        options_.inflation);
+    inflated += stats.inflated_objects;
+    placer.iterate(options_.post_inflation_iterations);
+  }
+
+  // ---- stage 4: macro legalisation ----
+  place::Placement placement = placer.placement();
+  const auto legal = place::Legalizer::legalize_macros(problem, placement);
+  if (!legal.success)
+    log::warn("flow: legalisation left %lld macros unplaced",
+              static_cast<long long>(legal.macros_placed));
+  const double t_macro = minutes_since(t_start);
+
+  // ---- stage 5: routing + scoring ----
+  placement.expand(problem, cell_x, cell_y);
+  // Honour the caller's router options but derive grid dimensions and
+  // capacities from the flow grid (capacities must track tile size).
+  route::RouterOptions ropt = options_.router;
+  const route::RouterOptions calibrated =
+      route::calibrated_router_options(*device_, options_.grid, options_.grid);
+  ropt.grid_width = calibrated.grid_width;
+  ropt.grid_height = calibrated.grid_height;
+  ropt.short_capacity = calibrated.short_capacity;
+  ropt.global_capacity = calibrated.global_capacity;
+  route::GlobalRouter router(*design_, *device_, ropt);
+  router.initial_route(cell_x, cell_y);
+
+  FlowResult result;
+  result.analysis = router.analyze();
+  result.s_ir = route::score::s_ir(result.analysis);
+  result.detailed_iterations = router.detailed_route();
+  result.s_dr = route::score::s_dr(result.detailed_iterations);
+  result.s_r = route::score::s_r(result.s_ir, result.s_dr);
+  result.routed_wirelength = router.routed_wirelength();
+  result.placed_wirelength = placer.wirelength();
+  result.t_pr_hours =
+      route::score::t_pr_hours(result.s_ir, result.s_dr,
+                               result.routed_wirelength,
+                               router.num_connections());
+  result.t_macro_minutes = t_macro;
+  result.s_score =
+      route::score::s_score(result.t_macro_minutes, result.s_r,
+                            result.t_pr_hours);
+  result.inflated_objects = inflated;
+  return result;
+}
+
+}  // namespace mfa::flow

@@ -1,0 +1,79 @@
+// End-to-end routability-driven FPGA macro placement flow (paper §IV,
+// Fig. 6):
+//   1. cascade clustering (in PlacementProblem),
+//   2. region-aware global placement until the overflow gate
+//      (Overflow < 0.25 macros / < 0.15 cells),
+//   3. congestion prediction and instance inflation (Eqs. 11-13), repeated
+//      for a configurable number of rounds with further GP in between,
+//   4. macro legalisation,
+//   5. routing and MLCAD scoring (S_IR, S_DR, S_R, S_score).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "flow/strategies.h"
+#include "models/congestion_model.h"
+#include "netlist/design.h"
+#include "place/inflation.h"
+#include "place/placer.h"
+#include "route/router.h"
+#include "route/score.h"
+
+namespace mfa::flow {
+
+struct FlowOptions {
+  std::int64_t grid = 64;
+  place::PlacerOptions placer;
+  /// Router options; grid dimensions and capacities are overridden from
+  /// `grid` via route::calibrated_router_options (capacity must track tile
+  /// size), the remaining fields are honoured.
+  route::RouterOptions router;
+  place::InflationOptions inflation;
+  /// Congestion-prediction + inflation rounds (Fig. 6 loop). One round by
+  /// default: the analytical strategies' quantile estimates always nominate
+  /// more inflation targets, so further rounds compound area without bound,
+  /// while the ML strategy is naturally self-limiting.
+  std::int64_t inflation_rounds = 1;
+  /// GP iterations after each inflation round.
+  std::int64_t post_inflation_iterations = 40;
+  /// Minimum total GP iterations before the first inflation round: the
+  /// overflow gate can be met early while wirelength is still far from
+  /// converged, and inflating a half-converged placement is meaningless.
+  std::int64_t min_gp_iterations = 120;
+};
+
+struct FlowResult {
+  double s_ir = 1.0;
+  double s_dr = 5.0;
+  double s_r = 5.0;
+  double s_score = 0.0;
+  double t_pr_hours = 0.0;
+  double t_macro_minutes = 0.0;
+  std::int64_t detailed_iterations = 0;
+  double routed_wirelength = 0.0;
+  double placed_wirelength = 0.0;
+  std::int64_t inflated_objects = 0;
+  /// Final routed congestion analysis (kept for reporting / Fig. 1 output).
+  route::CongestionAnalysis analysis;
+};
+
+class RoutabilityDrivenPlacer {
+ public:
+  RoutabilityDrivenPlacer(const netlist::Design& design,
+                          const fpga::DeviceGrid& device, FlowOptions options);
+
+  /// Runs the full flow. For Strategy::Ours a trained model must be given;
+  /// analytic strategies ignore it. MPKU-Improve additionally strengthens
+  /// the placer's spreading configuration (its multi-electrostatics
+  /// emphasis).
+  FlowResult run(Strategy strategy,
+                 models::CongestionModel* model = nullptr);
+
+ private:
+  const netlist::Design* design_;
+  const fpga::DeviceGrid* device_;
+  FlowOptions options_;
+};
+
+}  // namespace mfa::flow

@@ -1,0 +1,92 @@
+#include "flow/strategies.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "features/features.h"
+
+namespace mfa::flow {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::Ours:
+      return "Ours";
+    case Strategy::Utda:
+      return "UTDA";
+    case Strategy::Seu:
+      return "SEU";
+    case Strategy::MpkuImprove:
+      return "MPKU-Improve";
+    default:
+      return "?";
+  }
+}
+
+Strategy strategy_from_name(const std::string& name) {
+  if (name == "ours" || name == "Ours") return Strategy::Ours;
+  if (name == "utda" || name == "UTDA") return Strategy::Utda;
+  if (name == "seu" || name == "SEU") return Strategy::Seu;
+  if (name == "mpku" || name == "MPKU-Improve" || name == "mpku-improve")
+    return Strategy::MpkuImprove;
+  throw std::invalid_argument("unknown strategy '" + name + "'");
+}
+
+std::vector<float> quantile_levels(const std::vector<float>& demand) {
+  std::vector<float> sorted = demand;
+  std::sort(sorted.begin(), sorted.end());
+  const auto q = [&](double p) {
+    return sorted[static_cast<size_t>(p * static_cast<double>(sorted.size() - 1))];
+  };
+  // Thresholds chosen to mirror a typical routed-level histogram: roughly
+  // half the die quiet, a long tail of increasingly hot tiles.
+  const float t1 = q(0.50), t2 = q(0.75), t3 = q(0.87), t4 = q(0.93),
+              t5 = q(0.97), t6 = q(0.99);
+  std::vector<float> levels(demand.size(), 0.0f);
+  for (size_t i = 0; i < demand.size(); ++i) {
+    const float v = demand[i];
+    float level = 0.0f;
+    if (v > t1) level = 1.0f;
+    if (v > t2) level = 2.0f;
+    if (v > t3) level = 3.0f;
+    if (v > t4) level = 4.0f;
+    if (v > t5) level = 5.0f;
+    if (v > t6) level = 6.0f;
+    levels[i] = level;
+  }
+  return levels;
+}
+
+std::vector<float> analytic_levels(Strategy strategy, const Tensor& features) {
+  const std::int64_t hw = features.size(1) * features.size(2);
+  const float* rudy =
+      features.data() + static_cast<std::int64_t>(features::kRudy) * hw;
+  const float* pin =
+      features.data() + static_cast<std::int64_t>(features::kPinRudy) * hw;
+  std::vector<float> demand(static_cast<size_t>(hw));
+  switch (strategy) {
+    case Strategy::Utda:
+    case Strategy::MpkuImprove:
+      // Plain RUDY demand (MPKU differs in placer configuration, not in the
+      // congestion estimate).
+      for (std::int64_t i = 0; i < hw; ++i)
+        demand[static_cast<size_t>(i)] = rudy[i];
+      break;
+    case Strategy::Seu: {
+      // RUDY + pin density, each normalised by its own maximum.
+      float rmax = 1e-9f, pmax = 1e-9f;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        rmax = std::max(rmax, rudy[i]);
+        pmax = std::max(pmax, pin[i]);
+      }
+      for (std::int64_t i = 0; i < hw; ++i)
+        demand[static_cast<size_t>(i)] =
+            rudy[i] / rmax + 0.5f * pin[i] / pmax;
+      break;
+    }
+    case Strategy::Ours:
+      throw std::logic_error("analytic_levels: Ours uses the ML model");
+  }
+  return quantile_levels(demand);
+}
+
+}  // namespace mfa::flow

@@ -1,0 +1,42 @@
+// Congestion-estimation strategies for the inflation stage of the Fig. 6
+// flow. The paper compares its ML predictor against the MLCAD 2023 winners,
+// which refine RUDY-based analytical estimates [11]; these proxies reproduce
+// that distinction:
+//   * Ours      — the trained model predicts absolute congestion levels.
+//   * UTDA [11] — plain RUDY, quantile-mapped to pseudo levels.
+//   * SEU       — RUDY blended with pin density, quantile-mapped.
+//   * MPKU [16] — multi-electrostatics emphasis: same RUDY estimate but a
+//                 stronger spreading configuration of the placer.
+// Quantile mapping is the key weakness the paper exploits: an analytical
+// estimator knows which tiles are *relatively* hottest but not the absolute
+// congestion level, so it always inflates a fixed fraction of the die.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mfa::flow {
+
+enum class Strategy {
+  Ours = 0,       // ML congestion prediction (§IV)
+  Utda,           // RUDY-based (contest winner [11])
+  Seu,            // RUDY + pin-density hybrid (contest co-winner)
+  MpkuImprove,    // multi-electrostatics + fence-region emphasis [16]
+};
+
+const char* to_string(Strategy s);
+Strategy strategy_from_name(const std::string& name);
+
+/// Maps an analytical demand map (RUDY-like, arbitrary units) to pseudo
+/// congestion levels 0..7 by demand quantiles: the hottest ~1% of tiles get
+/// the highest level, mirroring how RUDY-based flows pick inflation targets.
+std::vector<float> quantile_levels(const std::vector<float>& demand);
+
+/// Analytical congestion estimate for the given strategy from the §III-B
+/// feature stack ([6, H, W], unnormalised). Not used for Strategy::Ours.
+std::vector<float> analytic_levels(Strategy strategy, const Tensor& features);
+
+}  // namespace mfa::flow

@@ -1,0 +1,89 @@
+#include "fpga/device.h"
+
+#include <stdexcept>
+
+namespace mfa::fpga {
+
+const char* to_string(SiteType t) {
+  switch (t) {
+    case SiteType::Clb:
+      return "CLB";
+    case SiteType::Dsp:
+      return "DSP";
+    case SiteType::Bram:
+      return "BRAM";
+    case SiteType::Uram:
+      return "URAM";
+    default:
+      return "?";
+  }
+}
+
+const char* to_string(Resource r) {
+  switch (r) {
+    case Resource::Lut:
+      return "LUT";
+    case Resource::Ff:
+      return "FF";
+    case Resource::Dsp:
+      return "DSP";
+    case Resource::Bram:
+      return "BRAM";
+    case Resource::Uram:
+      return "URAM";
+    default:
+      return "?";
+  }
+}
+
+DeviceGrid::DeviceGrid(std::int64_t cols, std::int64_t rows,
+                       std::int64_t dsp_period, std::int64_t bram_period,
+                       std::int64_t uram_period)
+    : cols_(cols), rows_(rows) {
+  if (cols <= 0 || rows <= 0)
+    throw std::invalid_argument("DeviceGrid: non-positive dimensions");
+  column_types_.resize(static_cast<size_t>(cols), SiteType::Clb);
+  for (std::int64_t c = 0; c < cols; ++c) {
+    SiteType t = SiteType::Clb;
+    // Offset the special columns so they do not collide; URAM wins over BRAM
+    // wins over DSP when periods coincide (URAM columns are rarest).
+    if (uram_period > 0 && c % uram_period == uram_period / 2) {
+      t = SiteType::Uram;
+    } else if (bram_period > 0 && c % bram_period == bram_period / 2) {
+      t = SiteType::Bram;
+    } else if (dsp_period > 0 && c % dsp_period == dsp_period / 3) {
+      t = SiteType::Dsp;
+    }
+    column_types_[static_cast<size_t>(c)] = t;
+    columns_by_type_[static_cast<size_t>(t)].push_back(c);
+  }
+}
+
+DeviceGrid DeviceGrid::make_xcvu3p_like(std::int64_t cols, std::int64_t rows) {
+  return DeviceGrid(cols, rows, /*dsp_period=*/10, /*bram_period=*/15,
+                    /*uram_period=*/40);
+}
+
+SiteType DeviceGrid::site_type(std::int64_t col, std::int64_t row) const {
+  if (!in_bounds(col, row)) throw std::out_of_range("site_type: off device");
+  return column_types_[static_cast<size_t>(col)];
+}
+
+const std::vector<std::int64_t>& DeviceGrid::columns_of(SiteType type) const {
+  return columns_by_type_[static_cast<size_t>(type)];
+}
+
+std::int64_t DeviceGrid::site_count(SiteType type) const {
+  return static_cast<std::int64_t>(columns_of(type).size()) * rows_;
+}
+
+std::int64_t DeviceGrid::resource_capacity(Resource r) const {
+  std::int64_t total = 0;
+  for (std::size_t t = 0; t < kNumSiteTypes; ++t) {
+    const auto site = static_cast<SiteType>(t);
+    total += site_count(site) * site_capacity(site, r);
+  }
+  return total;
+}
+
+}  // namespace mfa::fpga

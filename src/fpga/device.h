@@ -1,0 +1,109 @@
+// Columnar FPGA device model patterned on the MLCAD 2023 contest target
+// (16nm Xilinx UltraScale+ XCVU3P): heterogeneous site columns of CLB, DSP,
+// BRAM and URAM sites (paper §II-A). DSP/BRAM/URAM instances are macros; LUT
+// and FF cells map into CLB sites.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mfa::fpga {
+
+enum class SiteType : std::uint8_t { Clb = 0, Dsp, Bram, Uram, Count };
+
+/// Placement resource classes used for area/overflow accounting (§IV).
+enum class Resource : std::uint8_t { Lut = 0, Ff, Dsp, Bram, Uram, Count };
+
+constexpr std::size_t kNumSiteTypes = static_cast<std::size_t>(SiteType::Count);
+constexpr std::size_t kNumResources = static_cast<std::size_t>(Resource::Count);
+
+const char* to_string(SiteType t);
+const char* to_string(Resource r);
+
+/// True if instances of resource `r` are macros on this architecture
+/// (DSP, BRAM, URAM per §II-A).
+constexpr bool is_macro_resource(Resource r) {
+  return r == Resource::Dsp || r == Resource::Bram || r == Resource::Uram;
+}
+
+/// Site type hosting a given resource.
+constexpr SiteType site_for_resource(Resource r) {
+  switch (r) {
+    case Resource::Dsp:
+      return SiteType::Dsp;
+    case Resource::Bram:
+      return SiteType::Bram;
+    case Resource::Uram:
+      return SiteType::Uram;
+    default:
+      return SiteType::Clb;
+  }
+}
+
+/// Per-site capacity of each resource (UltraScale+ CLB: 8 LUTs + 16 FFs;
+/// macro sites hold one macro each).
+constexpr std::int64_t site_capacity(SiteType site, Resource r) {
+  if (site == SiteType::Clb) {
+    if (r == Resource::Lut) return 8;
+    if (r == Resource::Ff) return 16;
+    return 0;
+  }
+  return site_for_resource(r) == site &&
+                 (r == Resource::Dsp || r == Resource::Bram ||
+                  r == Resource::Uram)
+             ? 1
+             : 0;
+}
+
+/// The device: a cols x rows array of sites where every column carries a
+/// single site type, mirroring the UltraScale+ columnar fabric.
+class DeviceGrid {
+ public:
+  /// Builds a device with a fixed repeating column pattern. The default
+  /// pattern inserts a DSP column every `dsp_period` columns, a BRAM column
+  /// every `bram_period`, and a small number of URAM columns, the rest CLB.
+  DeviceGrid(std::int64_t cols, std::int64_t rows,
+             std::int64_t dsp_period = 12, std::int64_t bram_period = 16,
+             std::int64_t uram_period = 48);
+
+  /// XCVU3P-like device scaled to library experiment sizes. The real part has
+  /// ~49k CLBs, 2280 DSPs, 720 BRAM36 and 320 URAMs; the returned device
+  /// preserves the columnar mix at roughly 1/16 the site count by default.
+  static DeviceGrid make_xcvu3p_like(std::int64_t cols = 120,
+                                     std::int64_t rows = 80);
+
+  std::int64_t cols() const { return cols_; }
+  std::int64_t rows() const { return rows_; }
+
+  SiteType column_type(std::int64_t col) const {
+    return column_types_[static_cast<size_t>(col)];
+  }
+  SiteType site_type(std::int64_t col, std::int64_t row) const;
+  bool in_bounds(std::int64_t col, std::int64_t row) const {
+    return col >= 0 && col < cols_ && row >= 0 && row < rows_;
+  }
+
+  /// All (col) indices whose column hosts `type`.
+  const std::vector<std::int64_t>& columns_of(SiteType type) const;
+
+  /// Total number of sites of a type.
+  std::int64_t site_count(SiteType type) const;
+
+  /// Total capacity of the device for resource r (sites x per-site capacity).
+  std::int64_t resource_capacity(Resource r) const;
+
+  /// Total *area* capacity for resource r where one unit of area corresponds
+  /// to one resource slot (used by the inflation scaling in Eq. 12).
+  double area_capacity(Resource r) const {
+    return static_cast<double>(resource_capacity(r));
+  }
+
+ private:
+  std::int64_t cols_, rows_;
+  std::vector<SiteType> column_types_;
+  std::array<std::vector<std::int64_t>, kNumSiteTypes> columns_by_type_;
+};
+
+}  // namespace mfa::fpga

@@ -1,0 +1,51 @@
+#include "fpga/tile_grid.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mfa::fpga {
+
+const char* to_string(Direction d) {
+  switch (d) {
+    case Direction::East:
+      return "east";
+    case Direction::South:
+      return "south";
+    case Direction::West:
+      return "west";
+    case Direction::North:
+      return "north";
+    default:
+      return "?";
+  }
+}
+
+const char* to_string(WireClass w) {
+  return w == WireClass::Short ? "short" : "global";
+}
+
+InterconnectTileGrid::InterconnectTileGrid(std::int64_t gw, std::int64_t gh,
+                                           std::int64_t dev_cols,
+                                           std::int64_t dev_rows,
+                                           std::int64_t short_capacity,
+                                           std::int64_t global_capacity)
+    : gw_(gw), gh_(gh) {
+  if (gw <= 0 || gh <= 0 || dev_cols <= 0 || dev_rows <= 0)
+    throw std::invalid_argument("InterconnectTileGrid: non-positive dims");
+  sx_ = static_cast<double>(dev_cols) / static_cast<double>(gw);
+  sy_ = static_cast<double>(dev_rows) / static_cast<double>(gh);
+  capacity_[static_cast<size_t>(WireClass::Short)] = short_capacity;
+  capacity_[static_cast<size_t>(WireClass::Global)] = global_capacity;
+}
+
+std::int64_t InterconnectTileGrid::tile_x(double device_x) const {
+  const auto gx = static_cast<std::int64_t>(device_x / sx_);
+  return std::clamp<std::int64_t>(gx, 0, gw_ - 1);
+}
+
+std::int64_t InterconnectTileGrid::tile_y(double device_y) const {
+  const auto gy = static_cast<std::int64_t>(device_y / sy_);
+  return std::clamp<std::int64_t>(gy, 0, gh_ - 1);
+}
+
+}  // namespace mfa::fpga

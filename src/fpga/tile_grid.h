@@ -1,0 +1,67 @@
+// Interconnect tile grid (paper §II-B, Fig. 1).
+//
+// The Vivado initial router reports congestion per interconnect tile in four
+// directions (east/south/west/north) for two wire classes (short and global).
+// This class models that grid: a gw x gh array of tiles, each with a routing
+// capacity per (direction, wire class), plus the mapping from device
+// coordinates to tiles.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fpga/device.h"
+
+namespace mfa::fpga {
+
+enum class Direction : std::uint8_t { East = 0, South, West, North, Count };
+constexpr std::size_t kNumDirections =
+    static_cast<std::size_t>(Direction::Count);
+
+enum class WireClass : std::uint8_t { Short = 0, Global, Count };
+constexpr std::size_t kNumWireClasses =
+    static_cast<std::size_t>(WireClass::Count);
+
+const char* to_string(Direction d);
+const char* to_string(WireClass w);
+
+class InterconnectTileGrid {
+ public:
+  /// gw x gh tiles over a device of `dev_cols` x `dev_rows` sites.
+  /// Short wires hop one tile; global wires are the longer class with lower
+  /// per-tile capacity (as on UltraScale+, where long wires are scarcer).
+  InterconnectTileGrid(std::int64_t gw, std::int64_t gh,
+                       std::int64_t dev_cols, std::int64_t dev_rows,
+                       std::int64_t short_capacity = 16,
+                       std::int64_t global_capacity = 8);
+
+  std::int64_t width() const { return gw_; }
+  std::int64_t height() const { return gh_; }
+  std::int64_t num_tiles() const { return gw_ * gh_; }
+
+  std::int64_t tile_index(std::int64_t gx, std::int64_t gy) const {
+    return gy * gw_ + gx;
+  }
+  bool tile_in_bounds(std::int64_t gx, std::int64_t gy) const {
+    return gx >= 0 && gx < gw_ && gy >= 0 && gy < gh_;
+  }
+
+  /// Maps a continuous device coordinate to a tile coordinate (clamped).
+  std::int64_t tile_x(double device_x) const;
+  std::int64_t tile_y(double device_y) const;
+
+  std::int64_t capacity(WireClass w) const {
+    return capacity_[static_cast<size_t>(w)];
+  }
+
+  double tile_width_in_sites() const { return sx_; }
+  double tile_height_in_sites() const { return sy_; }
+
+ private:
+  std::int64_t gw_, gh_;
+  double sx_, sy_;  // device sites per tile
+  std::array<std::int64_t, kNumWireClasses> capacity_;
+};
+
+}  // namespace mfa::fpga

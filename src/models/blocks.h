@@ -1,0 +1,77 @@
+// Shared building blocks for the congestion models: residual downsampling
+// stages (ResNet [9]), the MFA block (paper §III-C2, Fig. 3), and the
+// vision-transformer bottleneck (paper §III-C3, Fig. 4).
+#pragma once
+
+#include <memory>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace mfa::models {
+
+/// conv3x3 -> BN -> ReLU.
+class ConvBnRelu : public nn::Module {
+ public:
+  ConvBnRelu(std::int64_t in, std::int64_t out, Rng& rng,
+             std::int64_t stride = 1);
+  Tensor forward(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<nn::Conv2d> conv_;
+  std::shared_ptr<nn::BatchNorm2d> bn_;
+};
+
+/// Residual downsampling stage: halves H/W, maps in -> out channels.
+/// main: conv3x3(s2)-BN-ReLU-conv3x3-BN; skip: conv1x1(s2)-BN; out: ReLU(sum).
+class ResBlockDown : public nn::Module {
+ public:
+  ResBlockDown(std::int64_t in, std::int64_t out, Rng& rng);
+  Tensor forward(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<nn::Conv2d> conv1_, conv2_, skip_;
+  std::shared_ptr<nn::BatchNorm2d> bn1_, bn2_, bn_skip_;
+};
+
+/// Multiscale Feature Attention block (Fig. 3): two branches — position
+/// attention (PAM, Eqs. 4-5) and channel attention (CAM, Eqs. 6-7) — over a
+/// 1/16-channel reduction, summed and restored to the input channel count.
+class MfaBlock : public nn::Module {
+ public:
+  MfaBlock(std::int64_t channels, Rng& rng,
+           std::int64_t reduction_floor = 1);
+  Tensor forward(const Tensor& x) override;
+
+  /// Learnable attention gains (alpha for PAM, beta for CAM); exposed for
+  /// tests verifying they start at zero (identity attention).
+  float alpha() const;
+  float beta() const;
+
+ private:
+  std::shared_ptr<nn::Conv2d> reduce_pam_, reduce_cam_;
+  std::shared_ptr<nn::BatchNorm2d> bn_pam_, bn_cam_;
+  std::shared_ptr<nn::Conv2d> pam_b_, pam_c_, pam_d_;
+  std::shared_ptr<nn::Conv2d> restore_;
+  Tensor alpha_, beta_;
+  std::int64_t reduced_;
+};
+
+/// Vision-transformer bottleneck: 1x1 embedding to C_t, flatten to tokens,
+/// learnable positional embedding, L pre-LN transformer layers, unflatten
+/// and 1x1 projection back to the input channel count.
+class PatchTransformer : public nn::Module {
+ public:
+  PatchTransformer(std::int64_t channels, std::int64_t tokens_h,
+                   std::int64_t tokens_w, std::int64_t dim, std::int64_t depth,
+                   std::int64_t heads, Rng& rng);
+  Tensor forward(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<nn::Conv2d> embed_, unembed_;
+  std::vector<std::shared_ptr<nn::TransformerEncoderLayer>> layers_;
+  Tensor pos_;
+  std::int64_t dim_, th_, tw_;
+};
+
+}  // namespace mfa::models

@@ -1,0 +1,32 @@
+// Shared configuration for all congestion-prediction models.
+#pragma once
+
+#include <cstdint>
+
+namespace mfa::models {
+
+struct ModelConfig {
+  /// Input grid resolution (paper: 256; library default: 64). Must be a
+  /// multiple of 16 (four stride-2 stages).
+  std::int64_t grid = 64;
+  /// Input feature channels (the six §III-B maps).
+  std::int64_t in_channels = 6;
+  /// Base channel count C of the first encoder stage (paper's C).
+  std::int64_t base_channels = 8;
+  /// Congestion-level classes (levels 0..7 -> 8-channel softmax, §III-D).
+  std::int64_t num_classes = 8;
+  /// Vision-transformer depth L (paper: 12; library default: 2). Zero
+  /// removes the transformer bottleneck entirely (ablation).
+  std::int64_t transformer_layers = 2;
+  /// Ablation switch: false replaces every MFA block with a pass-through.
+  bool use_mfa = true;
+  /// Minimum channel width of the MFA attention branches after the paper's
+  /// 1/16 reduction (the paper's C=64 keeps >=4; small configs can choose).
+  std::int64_t mfa_reduction_floor = 1;
+  std::int64_t transformer_heads = 4;
+  /// Token dimension C_t of the transformer embedding (0 = use 8C).
+  std::int64_t transformer_dim = 0;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace mfa::models

@@ -1,0 +1,36 @@
+// Common interface of all congestion predictors compared in Table I.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "models/config.h"
+#include "nn/module.h"
+
+namespace mfa::models {
+
+class CongestionModel {
+ public:
+  virtual ~CongestionModel() = default;
+  virtual const char* name() const = 0;
+  /// The underlying network (for parameters/optimizer/train-eval mode).
+  virtual nn::Module& network() = 0;
+  /// features [N, 6, H, W] -> per-class logits [N, num_classes, H, W].
+  virtual Tensor forward(const Tensor& features) = 0;
+
+  const ModelConfig& config() const { return config_; }
+
+  /// Inference: argmax class per tile as a float level map [N, H, W].
+  /// Switches to eval mode and back; no autograd tape is built.
+  Tensor predict_levels(const Tensor& features);
+
+ protected:
+  explicit CongestionModel(ModelConfig config) : config_(config) {}
+  ModelConfig config_;
+};
+
+/// Factory for the Table I model set: "ours", "unet", "pgnn", "pros2".
+std::unique_ptr<CongestionModel> make_model(const std::string& name,
+                                            const ModelConfig& config);
+
+}  // namespace mfa::models

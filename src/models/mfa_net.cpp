@@ -1,0 +1,104 @@
+#include "models/mfa_net.h"
+
+#include <stdexcept>
+
+namespace mfa::models {
+
+using namespace mfa::ops;
+
+MfaTransformerNet::MfaTransformerNet(ModelConfig config)
+    : CongestionModel(config) {
+  if (config.grid % 16 != 0)
+    throw std::invalid_argument("MfaTransformerNet: grid must be 16-divisible");
+  Rng rng(config.seed);
+  const auto C = config.base_channels;
+
+  // Encoder: four ResNet downs, channels C, 2C, 4C, 8C (Fig. 5).
+  const std::int64_t enc_ch[5] = {config.in_channels, C, 2 * C, 4 * C, 8 * C};
+  for (int i = 0; i < 4; ++i) {
+    down_[static_cast<size_t>(i)] = register_module(
+        "down" + std::to_string(i + 1),
+        std::make_shared<ResBlockDown>(enc_ch[i], enc_ch[i + 1], rng));
+    if (config.use_mfa)
+      mfa_[static_cast<size_t>(i)] = register_module(
+          "mfa" + std::to_string(i + 1),
+          std::make_shared<MfaBlock>(enc_ch[i + 1], rng,
+                                     config.mfa_reduction_floor));
+  }
+  // Additional MFA before the transformer (§III-C3).
+  if (config.use_mfa)
+    mfa_[4] = register_module(
+        "mfa_pre_vit",
+        std::make_shared<MfaBlock>(8 * C, rng, config.mfa_reduction_floor));
+  if (config.transformer_layers > 0) {
+    const std::int64_t tokens = config.grid / 16;
+    const std::int64_t dim =
+        config.transformer_dim > 0 ? config.transformer_dim : 8 * C;
+    transformer_ = register_module(
+        "vit", std::make_shared<PatchTransformer>(
+                   8 * C, tokens, tokens, dim, config.transformer_layers,
+                   config.transformer_heads, rng));
+  }
+
+  // Decoder (Fig. 5): outputs 2C@/8, C@/4, C/2@/2, num_classes@/1.
+  const std::int64_t half_c = std::max<std::int64_t>(1, C / 2);
+  // Up1 consumes concat(bottleneck 8C, MFA4 8C) upsampled, plus skip MFA3 4C.
+  up_conv_[0] = register_module(
+      "up1", std::make_shared<ConvBnRelu>(16 * C + 4 * C, 2 * C, rng));
+  up_conv_[1] = register_module(
+      "up2", std::make_shared<ConvBnRelu>(2 * C + 2 * C, C, rng));
+  up_conv_[2] = register_module(
+      "up3", std::make_shared<ConvBnRelu>(C + C, half_c, rng));
+  up_conv_[3] =
+      register_module("up4", std::make_shared<ConvBnRelu>(half_c, half_c, rng));
+  head_ = register_module(
+      "head",
+      std::make_shared<nn::Conv2d>(half_c, config.num_classes, 1, rng, 1, 0));
+}
+
+Tensor MfaTransformerNet::forward(const Tensor& features) {
+  const auto mfa_or_id = [&](size_t i, const Tensor& t) {
+    return mfa_[i] ? mfa_[i]->forward(t) : t;
+  };
+  // Encoder with MFA-enhanced skips.
+  Tensor d1 = down_[0]->forward(features);  // [C,   /2]
+  Tensor s1 = mfa_or_id(0, d1);
+  Tensor d2 = down_[1]->forward(d1);        // [2C,  /4]
+  Tensor s2 = mfa_or_id(1, d2);
+  Tensor d3 = down_[2]->forward(d2);        // [4C,  /8]
+  Tensor s3 = mfa_or_id(2, d3);
+  Tensor d4 = down_[3]->forward(d3);        // [8C, /16]
+  Tensor s4 = mfa_or_id(3, d4);
+
+  // Bottleneck: MFA then vision transformer (global context).
+  Tensor z = mfa_or_id(4, d4);
+  if (transformer_) z = transformer_->forward(z);  // [8C, /16]
+
+  // Decoder: upsample + skip concat + conv (Fig. 5 dimensions).
+  Tensor u = upsample_nearest2x(concat({z, s4}, 1));       // [16C, /8]
+  u = up_conv_[0]->forward(concat({u, s3}, 1));            // [2C,  /8]
+  u = upsample_nearest2x(u);
+  u = up_conv_[1]->forward(concat({u, s2}, 1));            // [C,   /4]
+  u = upsample_nearest2x(u);
+  u = up_conv_[2]->forward(concat({u, s1}, 1));            // [C/2, /2]
+  u = up_conv_[3]->forward(upsample_nearest2x(u));         // [C/2, /1]
+  return head_->forward(u);  // [num_classes, /1] logits (softmax in the loss)
+}
+
+MfaTransformerNet::StageShapes MfaTransformerNet::stage_shapes() const {
+  StageShapes s;
+  const auto C = config_.base_channels;
+  const auto G = config_.grid;
+  for (int i = 0; i < 4; ++i) {
+    const std::int64_t scale = std::int64_t{1} << (i + 1);
+    s.encoder[static_cast<size_t>(i)] = {C << i, G / scale, G / scale};
+  }
+  s.bottleneck = {8 * C, G / 16, G / 16};
+  s.decoder[0] = {2 * C, G / 8, G / 8};
+  s.decoder[1] = {C, G / 4, G / 4};
+  s.decoder[2] = {std::max<std::int64_t>(1, C / 2), G / 2, G / 2};
+  s.decoder[3] = {config_.num_classes, G, G};
+  return s;
+}
+
+}  // namespace mfa::models

@@ -1,0 +1,37 @@
+// The paper's model (Figs. 2 and 5): ResNet multiscale encoder, MFA blocks
+// on every skip connection plus one before the bottleneck, a vision-
+// transformer bottleneck, and a U-Net-style decoder that recovers the
+// congestion-level map as an 8-class per-tile classification.
+#pragma once
+
+#include "models/blocks.h"
+#include "models/congestion_model.h"
+
+namespace mfa::models {
+
+class MfaTransformerNet final : public CongestionModel, public nn::Module {
+ public:
+  explicit MfaTransformerNet(ModelConfig config);
+
+  const char* name() const override { return "ours"; }
+  nn::Module& network() override { return *this; }
+  Tensor forward(const Tensor& features) override;
+
+  /// Per-stage output shapes (channels, height, width) for the Fig. 5
+  /// architecture self-check bench.
+  struct StageShapes {
+    std::array<std::array<std::int64_t, 3>, 4> encoder;  // after each Down
+    std::array<std::int64_t, 3> bottleneck;
+    std::array<std::array<std::int64_t, 3>, 4> decoder;  // after each Up
+  };
+  StageShapes stage_shapes() const;
+
+ private:
+  std::array<std::shared_ptr<ResBlockDown>, 4> down_;
+  std::array<std::shared_ptr<MfaBlock>, 5> mfa_;  // 4 skips + pre-transformer
+  std::shared_ptr<PatchTransformer> transformer_;
+  std::array<std::shared_ptr<ConvBnRelu>, 4> up_conv_;
+  std::shared_ptr<nn::Conv2d> head_;
+};
+
+}  // namespace mfa::models

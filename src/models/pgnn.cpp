@@ -1,0 +1,59 @@
+#include "models/pgnn.h"
+
+#include "features/features.h"
+
+namespace mfa::models {
+
+using namespace mfa::ops;
+
+GridGraphConv::GridGraphConv(std::int64_t in, std::int64_t out, Rng& rng)
+    : in_(in) {
+  self_ = register_module("self",
+                          std::make_shared<nn::Conv2d>(in, out, 1, rng, 1, 0));
+  nbr_ = register_module(
+      "nbr", std::make_shared<nn::Conv2d>(in, out, 1, rng, 1, 0, false));
+  // Fixed normalised adjacency aggregation: 3x3 box filter applied per
+  // channel (depthwise) — built as a [in, in, 3, 3] kernel with box weights
+  // on the diagonal, excluded from parameters().
+  box_ = Tensor::zeros({in, in, 3, 3});
+  for (std::int64_t c = 0; c < in; ++c)
+    for (std::int64_t kh = 0; kh < 3; ++kh)
+      for (std::int64_t kw = 0; kw < 3; ++kw)
+        box_.set({c, c, kh, kw}, 1.0f / 9.0f);
+}
+
+Tensor GridGraphConv::forward(const Tensor& x) {
+  Tensor agg = conv2d(x, box_, Tensor(), 1, 1);  // A_hat X
+  return relu(add(self_->forward(x), nbr_->forward(agg)));
+}
+
+PgnnModel::PgnnModel(ModelConfig config) : CongestionModel(config) {
+  Rng rng(config.seed);
+  embed_dim_ = std::max<std::int64_t>(2, config.base_channels / 2);
+  // Pin-derived node features: macro map, pin RUDY, cell density (3 ch).
+  gcn1_ = register_module("gcn1",
+                          std::make_shared<GridGraphConv>(3, embed_dim_, rng));
+  gcn2_ = register_module(
+      "gcn2", std::make_shared<GridGraphConv>(embed_dim_, embed_dim_, rng));
+  ModelConfig unet_config = config;
+  unet_config.in_channels = config.in_channels + embed_dim_;
+  unet_ = register_module("unet", std::make_shared<UNetModel>(unet_config));
+}
+
+Tensor PgnnModel::forward(const Tensor& features) {
+  const std::int64_t N = features.size(0);
+  const std::int64_t H = features.size(2);
+  const std::int64_t W = features.size(3);
+  (void)N;
+  (void)H;
+  (void)W;
+  // Pin-graph node features: macro map, pin RUDY, cell density.
+  Tensor macro = narrow(features, 1, features::kMacro, 1);
+  Tensor pin_rudy = narrow(features, 1, features::kPinRudy, 1);
+  Tensor cell_density = narrow(features, 1, features::kCellDensity, 1);
+  Tensor nodes = concat({macro, pin_rudy, cell_density}, 1);
+  Tensor embed = gcn2_->forward(gcn1_->forward(nodes));
+  return unet_->forward(concat({features, embed}, 1));
+}
+
+}  // namespace mfa::models

@@ -1,0 +1,47 @@
+// Baseline: PGNN [7] — pin-accessibility GNN + U-Net.
+//
+// The original builds a pin-proximity graph over individual pins and runs a
+// GNN whose node embeddings are fused into a U-Net over grid features. At
+// this library's scale, individual-pin graphs are replaced by the grid graph
+// of pin clusters: every grid cell is a node carrying the pin-derived
+// channels (pin RUDY, cell density, macro map), edges connect 8-neighbouring
+// cells, and each GraphConv layer computes
+//   X' = ReLU(W_self X + W_nbr (A_hat X))
+// where A_hat X is the fixed normalised neighbourhood aggregation (a box
+// filter) and the two W's are learnable 1x1 convolutions. The resulting node
+// embeddings are concatenated with the six §III-B maps and fed to a U-Net,
+// preserving PGNN's structure (graph-derived pin features + grid CNN).
+#pragma once
+
+#include "models/blocks.h"
+#include "models/congestion_model.h"
+#include "models/unet.h"
+
+namespace mfa::models {
+
+/// One graph-convolution layer on the grid graph (see file comment).
+class GridGraphConv : public nn::Module {
+ public:
+  GridGraphConv(std::int64_t in, std::int64_t out, Rng& rng);
+  Tensor forward(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<nn::Conv2d> self_, nbr_;
+  Tensor box_;  // fixed 3x3 averaging kernel (not trained)
+  std::int64_t in_;
+};
+
+class PgnnModel final : public CongestionModel, public nn::Module {
+ public:
+  explicit PgnnModel(ModelConfig config);
+  const char* name() const override { return "pgnn"; }
+  nn::Module& network() override { return *this; }
+  Tensor forward(const Tensor& features) override;
+
+ private:
+  std::shared_ptr<GridGraphConv> gcn1_, gcn2_;
+  std::shared_ptr<UNetModel> unet_;
+  std::int64_t embed_dim_;
+};
+
+}  // namespace mfa::models

@@ -1,0 +1,52 @@
+#include "models/pros2.h"
+
+#include <stdexcept>
+
+namespace mfa::models {
+
+using namespace mfa::ops;
+
+Pros2Model::Pros2Model(ModelConfig config) : CongestionModel(config) {
+  if (config.grid % 16 != 0)
+    throw std::invalid_argument("Pros2Model: grid must be 16-divisible");
+  Rng rng(config.seed);
+  const auto C = config.base_channels;
+  const std::int64_t ch[5] = {config.in_channels, C, 2 * C, 4 * C, 8 * C};
+  for (int i = 0; i < 4; ++i)
+    down_[static_cast<size_t>(i)] = register_module(
+        "down" + std::to_string(i + 1),
+        std::make_shared<ResBlockDown>(ch[i], ch[i + 1], rng));
+  bottleneck_ = register_module(
+      "bottleneck", std::make_shared<ConvBnRelu>(8 * C, 8 * C, rng));
+  const std::int64_t half_c = std::max<std::int64_t>(1, C / 2);
+  up_conv_[0] = register_module(
+      "up1", std::make_shared<ConvBnRelu>(8 * C + 4 * C, 2 * C, rng));
+  up_conv_[1] = register_module(
+      "up2", std::make_shared<ConvBnRelu>(2 * C + 2 * C, C, rng));
+  up_conv_[2] =
+      register_module("up3", std::make_shared<ConvBnRelu>(C + C, half_c, rng));
+  up_conv_[3] =
+      register_module("up4", std::make_shared<ConvBnRelu>(half_c, half_c, rng));
+  head_ = register_module(
+      "head",
+      std::make_shared<nn::Conv2d>(half_c, config.num_classes, 1, rng, 1, 0));
+}
+
+Tensor Pros2Model::forward(const Tensor& features) {
+  Tensor d1 = down_[0]->forward(features);  // [C,   /2]
+  Tensor d2 = down_[1]->forward(d1);        // [2C,  /4]
+  Tensor d3 = down_[2]->forward(d2);        // [4C,  /8]
+  Tensor d4 = down_[3]->forward(d3);        // [8C, /16]
+  Tensor b = bottleneck_->forward(d4);
+
+  Tensor u = upsample_nearest2x(b);
+  u = up_conv_[0]->forward(concat({u, d3}, 1));
+  u = upsample_nearest2x(u);
+  u = up_conv_[1]->forward(concat({u, d2}, 1));
+  u = upsample_nearest2x(u);
+  u = up_conv_[2]->forward(concat({u, d1}, 1));
+  u = up_conv_[3]->forward(upsample_nearest2x(u));
+  return head_->forward(u);
+}
+
+}  // namespace mfa::models

@@ -1,0 +1,26 @@
+// Baseline: PROS 2.0 [8] — ResNet encoder + U-Net decoder trained on real
+// global-routing results. Architecturally this is the paper's model without
+// the MFA blocks and without the transformer bottleneck, which makes the
+// ours-vs-PROS2 comparison an implicit ablation of those two components.
+#pragma once
+
+#include "models/blocks.h"
+#include "models/congestion_model.h"
+
+namespace mfa::models {
+
+class Pros2Model final : public CongestionModel, public nn::Module {
+ public:
+  explicit Pros2Model(ModelConfig config);
+  const char* name() const override { return "pros2"; }
+  nn::Module& network() override { return *this; }
+  Tensor forward(const Tensor& features) override;
+
+ private:
+  std::array<std::shared_ptr<ResBlockDown>, 4> down_;
+  std::shared_ptr<ConvBnRelu> bottleneck_;
+  std::array<std::shared_ptr<ConvBnRelu>, 4> up_conv_;
+  std::shared_ptr<nn::Conv2d> head_;
+};
+
+}  // namespace mfa::models

@@ -1,0 +1,57 @@
+#include "models/unet.h"
+
+#include <stdexcept>
+
+namespace mfa::models {
+
+using namespace mfa::ops;
+
+UNetModel::UNetModel(ModelConfig config) : CongestionModel(config) {
+  if (config.grid % 16 != 0)
+    throw std::invalid_argument("UNetModel: grid must be 16-divisible");
+  Rng rng(config.seed);
+  const auto C = config.base_channels;
+  const std::int64_t ch[5] = {config.in_channels, C, 2 * C, 4 * C, 8 * C};
+  for (int i = 0; i < 4; ++i)
+    enc_[static_cast<size_t>(i)] = register_module(
+        "enc" + std::to_string(i + 1),
+        std::make_shared<ConvBnRelu>(ch[i], ch[i + 1], rng));
+  bottleneck_ = register_module(
+      "bottleneck", std::make_shared<ConvBnRelu>(8 * C, 8 * C, rng));
+  dec_[0] = register_module(
+      "dec1", std::make_shared<ConvBnRelu>(8 * C + 8 * C, 4 * C, rng));
+  dec_[1] = register_module(
+      "dec2", std::make_shared<ConvBnRelu>(4 * C + 4 * C, 2 * C, rng));
+  dec_[2] =
+      register_module("dec3", std::make_shared<ConvBnRelu>(2 * C + 2 * C, C, rng));
+  dec_[3] = register_module("dec4", std::make_shared<ConvBnRelu>(C, C, rng));
+  head_ = register_module(
+      "head",
+      std::make_shared<nn::Conv2d>(C, config.num_classes, 1, rng, 1, 0));
+}
+
+Tensor UNetModel::forward(const Tensor& features) {
+  Tensor e1 = enc_[0]->forward(features);       // [C, /1]
+  Tensor p1 = max_pool2d(e1, 2, 2);             //      /2
+  Tensor e2 = enc_[1]->forward(p1);             // [2C, /2]
+  Tensor p2 = max_pool2d(e2, 2, 2);
+  Tensor e3 = enc_[2]->forward(p2);             // [4C, /4]
+  Tensor p3 = max_pool2d(e3, 2, 2);
+  Tensor e4 = enc_[3]->forward(p3);             // [8C, /8]
+  Tensor p4 = max_pool2d(e4, 2, 2);
+  Tensor b = bottleneck_->forward(p4);          // [8C, /16]
+
+  Tensor u = upsample_nearest2x(b);             //      /8
+  u = dec_[0]->forward(concat({u, e4}, 1));
+  u = upsample_nearest2x(u);
+  u = dec_[1]->forward(concat({u, e3}, 1));
+  u = upsample_nearest2x(u);
+  u = dec_[2]->forward(concat({u, e2}, 1));
+  u = upsample_nearest2x(u);
+  // Note e1 is at /1; u is back at /1 as well. Plain U-Net concatenates, but
+  // we follow [6] which fuses with a conv only at the top stage.
+  u = dec_[3]->forward(add(u, e1));
+  return head_->forward(u);
+}
+
+}  // namespace mfa::models

@@ -1,0 +1,25 @@
+// Baseline: plain U-Net congestion predictor [6] — double-conv encoder
+// stages with max-pool downsampling, raw skip connections, no attention and
+// no transformer.
+#pragma once
+
+#include "models/blocks.h"
+#include "models/congestion_model.h"
+
+namespace mfa::models {
+
+class UNetModel final : public CongestionModel, public nn::Module {
+ public:
+  explicit UNetModel(ModelConfig config);
+  const char* name() const override { return "unet"; }
+  nn::Module& network() override { return *this; }
+  Tensor forward(const Tensor& features) override;
+
+ private:
+  std::array<std::shared_ptr<ConvBnRelu>, 4> enc_;
+  std::shared_ptr<ConvBnRelu> bottleneck_;
+  std::array<std::shared_ptr<ConvBnRelu>, 4> dec_;
+  std::shared_ptr<nn::Conv2d> head_;
+};
+
+}  // namespace mfa::models

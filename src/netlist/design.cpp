@@ -1,0 +1,86 @@
+#include "netlist/design.h"
+
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace mfa::netlist {
+
+std::int64_t Design::num_pins() const {
+  std::int64_t n = 0;
+  for (const auto& net : nets) n += static_cast<std::int64_t>(net.pins.size());
+  return n;
+}
+
+std::int64_t Design::count(fpga::Resource r) const {
+  std::int64_t n = 0;
+  for (const auto& c : cells) n += (c.resource == r);
+  return n;
+}
+
+std::int64_t Design::num_macros() const {
+  std::int64_t n = 0;
+  for (const auto& c : cells) n += c.is_macro();
+  return n;
+}
+
+void Design::validate(const fpga::DeviceGrid& device) const {
+  const auto ncells = num_cells();
+  for (const auto& net : nets) {
+    if (net.pins.size() < 2)
+      throw std::runtime_error("validate: net with fewer than 2 pins");
+    for (const auto pin : net.pins)
+      if (pin < 0 || pin >= ncells)
+        throw std::runtime_error("validate: pin references missing cell");
+  }
+  for (const auto& shape : cascades) {
+    if (shape.macros.empty())
+      throw std::runtime_error("validate: empty cascade shape");
+    const auto res = cells[static_cast<size_t>(shape.macros[0])].resource;
+    if (!fpga::is_macro_resource(res))
+      throw std::runtime_error("validate: cascade of non-macro resource");
+    for (const auto id : shape.macros) {
+      if (id < 0 || id >= ncells)
+        throw std::runtime_error("validate: cascade references missing cell");
+      if (cells[static_cast<size_t>(id)].resource != res)
+        throw std::runtime_error("validate: mixed-resource cascade");
+    }
+    if (static_cast<std::int64_t>(shape.macros.size()) > device.rows())
+      throw std::runtime_error("validate: cascade taller than device");
+  }
+  for (const auto& region : regions) {
+    if (region.col_lo < 0 || region.row_lo < 0 ||
+        region.col_hi >= device.cols() || region.row_hi >= device.rows() ||
+        region.col_lo > region.col_hi || region.row_lo > region.row_hi)
+      throw std::runtime_error("validate: region rectangle off device");
+  }
+  // Region capacity check per resource.
+  for (std::size_t ri = 0; ri < regions.size(); ++ri) {
+    const auto& region = regions[ri];
+    for (std::size_t r = 0; r < fpga::kNumResources; ++r) {
+      const auto res = static_cast<fpga::Resource>(r);
+      double demand = 0.0;
+      for (const auto& c : cells)
+        if (c.region == static_cast<std::int32_t>(ri) && c.resource == res)
+          demand += c.area;
+      std::int64_t cap = 0;
+      for (std::int64_t col = region.col_lo; col <= region.col_hi; ++col) {
+        const auto st = device.column_type(col);
+        cap += fpga::site_capacity(st, res) *
+               (region.row_hi - region.row_lo + 1);
+      }
+      if (demand > static_cast<double>(cap))
+        throw std::runtime_error(log::format(
+            "validate: region %zu overfilled for %s (demand %.0f > cap %lld)",
+            ri, fpga::to_string(res), demand, static_cast<long long>(cap)));
+    }
+  }
+  // Cascade members must share the cascade id recorded on the cell.
+  for (std::size_t si = 0; si < cascades.size(); ++si)
+    for (const auto id : cascades[si].macros)
+      if (cells[static_cast<size_t>(id)].cascade !=
+          static_cast<std::int32_t>(si))
+        throw std::runtime_error("validate: cell/cascade cross-link broken");
+}
+
+}  // namespace mfa::netlist

@@ -1,0 +1,75 @@
+// Netlist representation: cells, nets, macros and the two MLCAD 2023
+// constraint kinds (cascade shapes and region constraints, paper §II-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/device.h"
+
+namespace mfa::netlist {
+
+/// Region constraint: assigned instances must be placed on sites within the
+/// inclusive site rectangle.
+struct RegionConstraint {
+  std::int64_t col_lo = 0;
+  std::int64_t row_lo = 0;
+  std::int64_t col_hi = 0;
+  std::int64_t row_hi = 0;
+
+  bool contains(double x, double y) const {
+    return x >= static_cast<double>(col_lo) &&
+           x <= static_cast<double>(col_hi) + 1.0 &&
+           y >= static_cast<double>(row_lo) &&
+           y <= static_cast<double>(row_hi) + 1.0;
+  }
+  double center_x() const { return 0.5 * static_cast<double>(col_lo + col_hi + 1); }
+  double center_y() const { return 0.5 * static_cast<double>(row_lo + row_hi + 1); }
+};
+
+/// Cascade shape constraint: the listed macros must occupy consecutive sites
+/// of their column in the given order.
+struct CascadeShape {
+  std::vector<std::int32_t> macros;  // ordered cell ids, all same resource
+};
+
+struct Cell {
+  fpga::Resource resource = fpga::Resource::Lut;
+  float area = 1.0f;          // in units of resource slots
+  std::int32_t region = -1;   // index into Design::regions, or -1
+  std::int32_t cascade = -1;  // index into Design::cascades, or -1
+
+  bool is_macro() const { return fpga::is_macro_resource(resource); }
+};
+
+struct Net {
+  std::vector<std::int32_t> pins;  // cell ids (first pin is the driver)
+  float weight = 1.0f;
+};
+
+/// A complete design to be placed and routed.
+class Design {
+ public:
+  std::string name;
+  std::vector<Cell> cells;
+  std::vector<Net> nets;
+  std::vector<RegionConstraint> regions;
+  std::vector<CascadeShape> cascades;
+
+  std::int64_t num_cells() const {
+    return static_cast<std::int64_t>(cells.size());
+  }
+  std::int64_t num_nets() const { return static_cast<std::int64_t>(nets.size()); }
+  std::int64_t num_pins() const;
+  /// Number of cells of a resource class.
+  std::int64_t count(fpga::Resource r) const;
+  std::int64_t num_macros() const;
+
+  /// Structural validation against a device: pin ids in range, cascades
+  /// homogeneous and fitting a column, regions on-device, region demand
+  /// within region capacity. Throws std::runtime_error on violation.
+  void validate(const fpga::DeviceGrid& device) const;
+};
+
+}  // namespace mfa::netlist

@@ -1,0 +1,54 @@
+// Synthetic benchmark generator reproducing the character of the MLCAD 2023
+// macro-placement suite at library scale.
+//
+// The contest suite is proprietary Vivado data; this generator substitutes
+// seeded synthetic designs whose statistics track Table I of the paper:
+// per-design resource utilisations relative to XCVU3P capacity (the ten most
+// congested designs run 79-97% LUT and ~90% DSP/BRAM utilisation), clustered
+// Rent-style connectivity with hotspot clusters, cascade chains over DSP/BRAM
+// macros, and rectangular region constraints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "netlist/design.h"
+
+namespace mfa::netlist {
+
+struct DesignSpec {
+  std::string name;
+  // Target utilisation of device capacity per resource, from Table I.
+  double lut_util = 0.9;
+  double ff_util = 0.4;
+  double dsp_util = 0.9;
+  double bram_util = 0.9;
+  double uram_util = 0.5;
+  // Connectivity parameters.
+  double clustering = 0.80;      // probability a sink stays in-cluster
+  double hotspot_bias = 0.5;     // extra net density in hot clusters
+  std::int64_t hot_clusters = 3; // number of congestion hotspot clusters
+  std::int64_t cells_per_cluster = 150;
+  double cascade_fraction = 0.5; // fraction of macros grouped into cascades
+  std::int64_t num_regions = 3;
+  std::uint64_t seed = 1;
+};
+
+/// Specs for the contest designs referenced by the paper (Tables I and II).
+/// Utilisations are derived from Table I counts over XCVU3P capacity
+/// (394,080 LUT / 788,160 FF / 2,280 DSP / 720 BRAM36).
+std::vector<DesignSpec> mlcad2023_suite();
+
+/// Spec for a single named design from the suite; throws if unknown.
+DesignSpec mlcad2023_spec(const std::string& design_name);
+
+class DesignGenerator {
+ public:
+  /// Generates a design matching `spec` on `device`. Deterministic in
+  /// (spec.seed, device dimensions).
+  static Design generate(const DesignSpec& spec,
+                         const fpga::DeviceGrid& device);
+};
+
+}  // namespace mfa::netlist

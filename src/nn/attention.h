@@ -1,0 +1,41 @@
+// Multi-head self-attention and the vision-transformer encoder layer
+// (paper §III-C3, Fig. 4): pre-LN, MSA + MLP with residual connections.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace mfa::nn {
+
+/// Multi-head scaled dot-product self-attention over token sequences
+/// [N, L, D] (Eq. 9). qkv and output projections are single Linear layers.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(std::int64_t dim, std::int64_t heads, Rng& rng);
+  Tensor forward(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<Linear> qkv_;
+  std::shared_ptr<Linear> proj_;
+  std::int64_t dim_, heads_, head_dim_;
+};
+
+/// One vision-transformer layer (Eqs. 8 and 10):
+///   a_l = MSA(LN(z_{l-1})) + z_{l-1}
+///   z_l = MLP(LN(a_l)) + a_l
+/// (The paper's Eq. 10 writes MSA for the second block; per the cited ViT
+/// architecture in Fig. 4 this is the MLP block.)
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(std::int64_t dim, std::int64_t heads,
+                          std::int64_t mlp_hidden, Rng& rng);
+  Tensor forward(const Tensor& x) override;
+
+ private:
+  std::shared_ptr<LayerNorm> ln1_, ln2_;
+  std::shared_ptr<MultiHeadSelfAttention> msa_;
+  std::shared_ptr<Linear> fc1_, fc2_;
+};
+
+}  // namespace mfa::nn

@@ -1,0 +1,96 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace mfa::nn {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'F', 'A', 'C', 'K', 'P', 'T', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void save_checkpoint(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("checkpoint: cannot open '" + path +
+                             "' for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const auto params = module.parameters();
+  const auto names = module.parameter_names();
+  write_pod<std::uint64_t>(out, params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const auto& name = names[i];
+    const auto& p = params[i];
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const auto& shape = p.shape();
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(shape.size()));
+    for (const auto d : shape) write_pod<std::int64_t>(out, d);
+    out.write(reinterpret_cast<const char*>(p.data()),
+              static_cast<std::streamsize>(p.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void load_checkpoint(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("checkpoint: cannot open '" + path +
+                             "' for reading");
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+
+  auto params = module.parameters();
+  const auto names = module.parameter_names();
+  std::map<std::string, Tensor*> by_name;
+  for (size_t i = 0; i < params.size(); ++i) by_name[names[i]] = &params[i];
+
+  const auto count = read_pod<std::uint64_t>(in);
+  if (count != params.size())
+    throw std::runtime_error(log::format(
+        "checkpoint: parameter count mismatch (file %llu vs module %zu)",
+        static_cast<unsigned long long>(count), params.size()));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const auto rank = read_pod<std::uint32_t>(in);
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::int64_t>(in);
+    const auto it = by_name.find(name);
+    if (it == by_name.end())
+      throw std::runtime_error("checkpoint: unknown parameter '" + name + "'");
+    Tensor& target = *it->second;
+    if (target.shape() != shape)
+      throw std::runtime_error(
+          log::format("checkpoint: shape mismatch for '%s' (file %s vs %s)",
+                      name.c_str(), shape_str(shape).c_str(),
+                      shape_str(target.shape()).c_str()));
+    in.read(reinterpret_cast<char*>(target.data()),
+            static_cast<std::streamsize>(target.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("checkpoint: truncated tensor data");
+  }
+}
+
+}  // namespace mfa::nn

@@ -1,0 +1,28 @@
+// Parameter checkpointing: save/load a Module's named parameters to a
+// simple self-describing binary file so a congestion model can be trained
+// once and reused across placement runs (or shipped with a release).
+//
+// Format (little-endian):
+//   magic "MFACKPT1"
+//   u64 parameter count
+//   per parameter: u32 name length, name bytes,
+//                  u32 rank, i64 dims[rank], f32 data[numel]
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace mfa::nn {
+
+/// Writes all parameters of `module` to `path`. Throws std::runtime_error on
+/// I/O failure.
+void save_checkpoint(const Module& module, const std::string& path);
+
+/// Loads parameters into `module`. Every parameter in the file must match an
+/// existing parameter by name and shape (strict), so architecture changes
+/// are caught instead of silently misloaded. Throws std::runtime_error on
+/// mismatch or I/O failure.
+void load_checkpoint(Module& module, const std::string& path);
+
+}  // namespace mfa::nn

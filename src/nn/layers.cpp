@@ -1,0 +1,73 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace mfa::nn {
+
+Tensor kaiming_normal(Shape shape, std::int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::randn(std::move(shape), rng, stddev);
+}
+
+Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                      Rng& rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::uniform(std::move(shape), rng, -a, a);
+}
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, Rng& rng, std::int64_t stride,
+               std::int64_t padding, bool bias)
+    : stride_(stride), padding_(padding) {
+  weight_ = register_parameter(
+      "weight", kaiming_normal({out_channels, in_channels, kernel, kernel},
+                               in_channels * kernel * kernel, rng));
+  if (bias) bias_ = register_parameter("bias", Tensor::zeros({out_channels}));
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  return ops::conv2d(x, weight_, bias_, stride_, padding_);
+}
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias)
+    : in_(in_features), out_(out_features) {
+  weight_ = register_parameter(
+      "weight", xavier_uniform({in_features, out_features}, in_features,
+                               out_features, rng));
+  if (bias) bias_ = register_parameter("bias", Tensor::zeros({out_features}));
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  // Flatten leading dims to rows, multiply, restore shape.
+  Shape out_shape = x.shape();
+  out_shape.back() = out_;
+  Tensor rows = ops::reshape(x, {-1, in_});
+  Tensor y = ops::matmul(rows, weight_);
+  if (bias_.defined()) y = ops::add(y, bias_);
+  return ops::reshape(y, std::move(out_shape));
+}
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
+    : momentum_(momentum), eps_(eps) {
+  gamma_ = register_parameter("weight", Tensor::ones({channels}));
+  beta_ = register_parameter("bias", Tensor::zeros({channels}));
+  running_mean_ = register_buffer("running_mean", Tensor::zeros({channels}));
+  running_var_ = register_buffer("running_var", Tensor::ones({channels}));
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  return ops::batch_norm2d(x, gamma_, beta_, running_mean_, running_var_,
+                           is_training(), momentum_, eps_);
+}
+
+LayerNorm::LayerNorm(std::int64_t dim, float eps) : eps_(eps) {
+  gamma_ = register_parameter("weight", Tensor::ones({dim}));
+  beta_ = register_parameter("bias", Tensor::zeros({dim}));
+}
+
+Tensor LayerNorm::forward(const Tensor& x) {
+  return ops::layer_norm(x, gamma_, beta_, eps_);
+}
+
+}  // namespace mfa::nn

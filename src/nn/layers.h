@@ -1,0 +1,124 @@
+// Core neural-network layers built on the tensor op set.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace mfa::nn {
+
+/// 2-D convolution (NCHW), Kaiming-normal initialised.
+class Conv2d : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, Rng& rng, std::int64_t stride = 1,
+         std::int64_t padding = 0, bool bias = true);
+  Tensor forward(const Tensor& x) override;
+
+ private:
+  Tensor weight_, bias_;
+  std::int64_t stride_, padding_;
+};
+
+/// Fully connected layer, Xavier-uniform initialised. Accepts [.., in].
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool bias = true);
+  Tensor forward(const Tensor& x) override;
+
+ private:
+  Tensor weight_;  // [in, out] so forward is x @ W
+  Tensor bias_;
+  std::int64_t in_, out_;
+};
+
+/// Batch normalisation over (N, H, W) per channel with running statistics.
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+  Tensor forward(const Tensor& x) override;
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  Tensor gamma_, beta_, running_mean_, running_var_;
+  float momentum_, eps_;
+};
+
+/// Layer normalisation over the last dimension.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t dim, float eps = 1e-5f);
+  Tensor forward(const Tensor& x) override;
+
+ private:
+  Tensor gamma_, beta_;
+  float eps_;
+};
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& x) override { return ops::relu(x); }
+};
+
+class GELU : public Module {
+ public:
+  Tensor forward(const Tensor& x) override { return ops::gelu(x); }
+};
+
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::int64_t kernel, std::int64_t stride)
+      : kernel_(kernel), stride_(stride) {}
+  Tensor forward(const Tensor& x) override {
+    return ops::max_pool2d(x, kernel_, stride_);
+  }
+
+ private:
+  std::int64_t kernel_, stride_;
+};
+
+/// Nearest-neighbour 2x spatial upsampling.
+class Upsample2x : public Module {
+ public:
+  Tensor forward(const Tensor& x) override {
+    return ops::upsample_nearest2x(x);
+  }
+};
+
+/// Runs children in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  /// Appends a module (registered as a child).
+  template <typename M>
+  Sequential& add(std::shared_ptr<M> m) {
+    modules_.push_back(register_module(std::to_string(modules_.size()), m));
+    return *this;
+  }
+  Tensor forward(const Tensor& x) override {
+    Tensor y = x;
+    for (auto& m : modules_) y = m->forward(y);
+    return y;
+  }
+  size_t size() const { return modules_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<Module>> modules_;
+};
+
+// ---- weight init helpers ----
+
+/// N(0, sqrt(2/fan_in)) — He initialisation for ReLU networks.
+Tensor kaiming_normal(Shape shape, std::int64_t fan_in, Rng& rng);
+/// U(-a, a) with a = sqrt(6/(fan_in+fan_out)) — Glorot initialisation.
+Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                      Rng& rng);
+
+}  // namespace mfa::nn

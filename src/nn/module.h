@@ -1,0 +1,59 @@
+// Module base class: a named tree of parameters and sub-modules, mirroring
+// the torch.nn.Module contract the paper's PyTorch reference relies on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mfa::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  virtual Tensor forward(const Tensor& x) = 0;
+  Tensor operator()(const Tensor& x) { return forward(x); }
+
+  /// All trainable parameters, depth first (stable order across runs).
+  std::vector<Tensor> parameters() const;
+  /// Parameter names aligned with parameters(), for checkpoints/debugging.
+  std::vector<std::string> parameter_names() const;
+  std::int64_t num_parameters() const;
+
+  /// Switches train/eval mode for this module and all children (affects
+  /// batch-norm statistics).
+  void train(bool on = true);
+  bool is_training() const { return training_; }
+
+  void zero_grad();
+
+ protected:
+  /// Registers a trainable parameter; returns it for member initialisation.
+  Tensor register_parameter(std::string name, Tensor t);
+  /// Registers a non-trainable buffer (e.g. batch-norm running stats).
+  Tensor register_buffer(std::string name, Tensor t);
+  /// Registers a child module; returns the argument for chaining.
+  template <typename M>
+  std::shared_ptr<M> register_module(std::string name, std::shared_ptr<M> m) {
+    children_.emplace_back(std::move(name), m);
+    return m;
+  }
+
+ private:
+  void collect(const std::string& prefix,
+               std::vector<std::pair<std::string, Tensor>>& out) const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Tensor>> buffers_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+}  // namespace mfa::nn

@@ -1,0 +1,68 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace mfa::nn {
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i)
+    velocity_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+}
+
+void Sgd::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    const Tensor g = p.grad();
+    const float* gv = g.data();
+    float* pv = p.data();
+    float* vel = velocity_[i].data();
+    const auto n = p.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      vel[j] = momentum_ * vel[j] + gv[j];
+      pv[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+    v_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    const Tensor g = p.grad();
+    const float* gv = g.data();
+    float* pv = p.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const auto n = p.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float grad = gv[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      pv[j] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * pv[j]);
+    }
+  }
+}
+
+}  // namespace mfa::nn

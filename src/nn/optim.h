@@ -1,0 +1,47 @@
+// First-order optimizers. The paper trains with Adam at lr = 1e-3.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mfa::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+  virtual void step() = 0;
+  void zero_grad() {
+    for (auto& p : params_) p.zero_grad();
+  }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// SGD with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float lr_, momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace mfa::nn

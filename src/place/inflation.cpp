@@ -1,0 +1,72 @@
+#include "place/inflation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mfa::place {
+
+InflationStats apply_inflation(PlacementProblem& problem,
+                               const Placement& placement,
+                               const std::vector<float>& level_map,
+                               std::int64_t gw, std::int64_t gh,
+                               const InflationOptions& options) {
+  if (static_cast<std::int64_t>(level_map.size()) != gw * gh)
+    throw std::invalid_argument("apply_inflation: map size mismatch");
+  const auto& device = problem.device();
+  const double sx = static_cast<double>(gw) / static_cast<double>(device.cols());
+  const double sy = static_cast<double>(gh) / static_cast<double>(device.rows());
+
+  InflationStats stats;
+  const auto nobj = problem.num_objects();
+  std::vector<double> delta(static_cast<size_t>(nobj), 0.0);
+  std::array<double, fpga::kNumResources> sum_area{};
+  std::array<double, fpga::kNumResources> sum_delta{};
+
+  for (std::int64_t oi = 0; oi < nobj; ++oi) {
+    const auto& obj = problem.objects[static_cast<size_t>(oi)];
+    const auto r = static_cast<size_t>(obj.resource);
+    sum_area[r] += obj.area;
+    const auto gx = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(placement.x[static_cast<size_t>(oi)] * sx),
+        0, gw - 1);
+    const auto gy = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(placement.y[static_cast<size_t>(oi)] * sy),
+        0, gh - 1);
+    const double level = level_map[static_cast<size_t>(gy * gw + gx)];
+    if (level <= options.level_threshold) continue;  // no S_IR penalty below 4
+    // Eq. 11.
+    const double factor =
+        std::min(std::pow(std::max(1.0, level - 2.0), 2.5), options.epsilon);
+    const double est = obj.area * factor;
+    delta[static_cast<size_t>(oi)] = est - obj.area;
+    sum_delta[r] += delta[static_cast<size_t>(oi)];
+  }
+
+  // Eq. 12: per-resource budget scaling.
+  for (size_t r = 0; r < fpga::kNumResources; ++r) {
+    if (sum_delta[r] <= 0.0) {
+      stats.tau[r] = 1.0;
+      continue;
+    }
+    const double cap =
+        options.budget_fraction *
+        (device.area_capacity(static_cast<fpga::Resource>(r)) - sum_area[r]);
+    stats.tau[r] = std::clamp(cap / sum_delta[r], 0.0, 1.0);
+  }
+
+  // Eq. 13.
+  for (std::int64_t oi = 0; oi < nobj; ++oi) {
+    if (delta[static_cast<size_t>(oi)] <= 0.0) continue;
+    auto& obj = problem.objects[static_cast<size_t>(oi)];
+    const double add =
+        stats.tau[static_cast<size_t>(obj.resource)] *
+        delta[static_cast<size_t>(oi)];
+    obj.area += add;
+    stats.area_added += add;
+    ++stats.inflated_objects;
+  }
+  return stats;
+}
+
+}  // namespace mfa::place

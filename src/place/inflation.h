@@ -1,0 +1,52 @@
+// Congestion-driven instance inflation (paper §IV, Eqs. 11-13).
+//
+// Given a predicted congestion-level map Y over a gw x gh grid, every object
+// in a grid cell with level > 3 has its target area inflated:
+//   A_est = A * min( [max(1, Y - 2)]^2.5, epsilon )            (Eq. 11)
+// The per-resource inflation budget is capped so total area never exceeds
+// the device capacity of that resource:
+//   tau_t = min( (A_t^p - sum A_i) / sum dA_i, 1 )             (Eq. 12)
+//   A_update = A + tau_t * dA                                  (Eq. 13)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "place/problem.h"
+
+namespace mfa::place {
+
+struct InflationStats {
+  std::int64_t inflated_objects = 0;
+  double area_added = 0.0;
+  std::array<double, fpga::kNumResources> tau{};  // scaling per resource
+};
+
+struct InflationOptions {
+  /// epsilon in Eq. 11: cap on the per-instance inflation multiplier. The
+  /// paper leaves the constant unspecified; 1.3 keeps total inflated area
+  /// within the spreading headroom of this library's bin sizes at the
+  /// contest's 90%+ utilisations (see DESIGN.md calibration notes).
+  double epsilon = 1.3;
+  /// Congestion level above which inflation applies (paper: level > 3, the
+  /// S_IR penalty threshold).
+  double level_threshold = 3.0;
+  /// Fraction of the *remaining* per-resource free area the inflation may
+  /// consume (tightens Eq. 12). At the contest's 90%+ utilisations, handing
+  /// inflation the full headroom leaves the spreader zero slack and degrades
+  /// wirelength catastrophically; keeping half the headroom free preserves
+  /// the relief effect without starving the placer.
+  double budget_fraction = 0.5;
+};
+
+/// Applies Eqs. 11-13 in place: updates MoveObject::area from the congestion
+/// map sampled at each object's position. `level_map` is row-major gh x gw
+/// over the device ([0, cols] x [0, rows] mapped linearly to the grid).
+InflationStats apply_inflation(PlacementProblem& problem,
+                               const Placement& placement,
+                               const std::vector<float>& level_map,
+                               std::int64_t gw, std::int64_t gh,
+                               const InflationOptions& options = {});
+
+}  // namespace mfa::place

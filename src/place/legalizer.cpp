@@ -1,0 +1,156 @@
+#include "place/legalizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/log.h"
+
+namespace mfa::place {
+
+namespace {
+
+struct Candidate {
+  std::int64_t col = -1;
+  std::int64_t row = -1;
+  double cost = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+LegalizeResult Legalizer::legalize_macros(const PlacementProblem& problem,
+                                          Placement& placement) {
+  const auto& device = problem.device();
+  LegalizeResult result;
+
+  // occupancy[col][row] for macro columns only.
+  std::vector<std::vector<char>> occupied(
+      static_cast<size_t>(device.cols()),
+      std::vector<char>(static_cast<size_t>(device.rows()), 0));
+
+  // Macros ordered: tall cascades first (hardest to fit), then by area.
+  std::vector<std::int64_t> order;
+  for (std::int64_t oi = 0; oi < problem.num_objects(); ++oi)
+    if (problem.objects[static_cast<size_t>(oi)].is_macro()) order.push_back(oi);
+  std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    const auto& oa = problem.objects[static_cast<size_t>(a)];
+    const auto& ob = problem.objects[static_cast<size_t>(b)];
+    // Region-constrained macros first — they have the fewest legal sites and
+    // must not find their region already filled by unconstrained macros.
+    const bool ra = oa.region >= 0, rb = ob.region >= 0;
+    if (ra != rb) return ra;
+    if (oa.height != ob.height) return oa.height > ob.height;
+    return oa.area > ob.area;
+  });
+
+  for (const auto oi : order) {
+    const auto& obj = problem.objects[static_cast<size_t>(oi)];
+    const auto height = static_cast<std::int64_t>(std::lround(obj.height));
+    const double px = placement.x[static_cast<size_t>(oi)];
+    const double py = placement.y[static_cast<size_t>(oi)];
+    const auto& cols = device.columns_of(fpga::site_for_resource(obj.resource));
+
+    const netlist::RegionConstraint* region =
+        obj.region >= 0
+            ? &problem.design().regions[static_cast<size_t>(obj.region)]
+            : nullptr;
+
+    Candidate best;
+    for (const auto col : cols) {
+      if (region && (col < region->col_lo || col > region->col_hi)) continue;
+      const double dx = std::fabs(static_cast<double>(col) + 0.5 - px);
+      if (dx >= best.cost) continue;  // even dy=0 cannot beat best
+      const std::int64_t row_lo = region ? region->row_lo : 0;
+      const std::int64_t row_hi =
+          (region ? region->row_hi : device.rows() - 1) - (height - 1);
+      // Scan rows outward from the desired row.
+      const auto want = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(std::lround(py - 0.5)), row_lo,
+          std::max(row_lo, row_hi));
+      for (std::int64_t radius = 0; radius <= device.rows(); ++radius) {
+        bool any_in_range = false;
+        for (const std::int64_t row : {want - radius, want + radius}) {
+          if (row < row_lo || row > row_hi) continue;
+          any_in_range = true;
+          bool free = true;
+          for (std::int64_t k = 0; k < height && free; ++k)
+            free = !occupied[static_cast<size_t>(col)]
+                            [static_cast<size_t>(row + k)];
+          if (!free) continue;
+          const double cost =
+              dx + std::fabs(static_cast<double>(row) + 0.5 - py);
+          if (cost < best.cost) best = {col, row, cost};
+          break;  // nearest free row in this direction found
+        }
+        if (best.col == col || !any_in_range) break;
+        if (radius > 0 && best.cost <
+                              dx + static_cast<double>(radius) - 1.0)
+          break;  // cannot improve further in this column
+      }
+    }
+
+    if (best.col < 0) {
+      log::warn("legalizer: no site for macro object %lld (%s h=%lld)",
+                static_cast<long long>(oi), fpga::to_string(obj.resource),
+                static_cast<long long>(height));
+      result.success = false;
+      continue;
+    }
+    for (std::int64_t k = 0; k < height; ++k)
+      occupied[static_cast<size_t>(best.col)]
+              [static_cast<size_t>(best.row + k)] = 1;
+    const double nx = static_cast<double>(best.col) + 0.5;
+    const double ny = static_cast<double>(best.row) + 0.5;
+    result.total_displacement += std::fabs(nx - px) + std::fabs(ny - py);
+    placement.x[static_cast<size_t>(oi)] = nx;
+    placement.y[static_cast<size_t>(oi)] = ny;
+    ++result.macros_placed;
+  }
+  return result;
+}
+
+std::string Legalizer::check_macros(const PlacementProblem& problem,
+                                    const Placement& placement) {
+  const auto& device = problem.device();
+  std::vector<std::vector<char>> occupied(
+      static_cast<size_t>(device.cols()),
+      std::vector<char>(static_cast<size_t>(device.rows()), 0));
+  for (std::int64_t oi = 0; oi < problem.num_objects(); ++oi) {
+    const auto& obj = problem.objects[static_cast<size_t>(oi)];
+    if (!obj.is_macro()) continue;
+    const double px = placement.x[static_cast<size_t>(oi)];
+    const double py = placement.y[static_cast<size_t>(oi)];
+    const auto col = static_cast<std::int64_t>(std::floor(px));
+    const auto row = static_cast<std::int64_t>(std::floor(py));
+    const auto height = static_cast<std::int64_t>(std::lround(obj.height));
+    if (!device.in_bounds(col, row) ||
+        !device.in_bounds(col, row + height - 1))
+      return log::format("macro %lld off device", static_cast<long long>(oi));
+    if (device.column_type(col) != fpga::site_for_resource(obj.resource))
+      return log::format("macro %lld on wrong column type",
+                         static_cast<long long>(oi));
+    if (std::fabs(px - (static_cast<double>(col) + 0.5)) > 1e-6 ||
+        std::fabs(py - (static_cast<double>(row) + 0.5)) > 1e-6)
+      return log::format("macro %lld not snapped to a site",
+                         static_cast<long long>(oi));
+    for (std::int64_t k = 0; k < height; ++k) {
+      if (occupied[static_cast<size_t>(col)][static_cast<size_t>(row + k)])
+        return log::format("macro %lld overlaps another macro",
+                           static_cast<long long>(oi));
+      occupied[static_cast<size_t>(col)][static_cast<size_t>(row + k)] = 1;
+    }
+    if (obj.region >= 0) {
+      const auto& region =
+          problem.design().regions[static_cast<size_t>(obj.region)];
+      if (col < region.col_lo || col > region.col_hi || row < region.row_lo ||
+          row + height - 1 > region.row_hi)
+        return log::format("macro %lld escapes its region",
+                           static_cast<long long>(oi));
+    }
+  }
+  return {};
+}
+
+}  // namespace mfa::place

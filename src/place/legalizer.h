@@ -1,0 +1,34 @@
+// Macro legalisation (paper §IV): snaps DSP/BRAM/URAM objects — including
+// merged cascade clusters — onto legal sites of the matching column type,
+// keeping cascade members on consecutive rows in order and honouring region
+// constraints.
+#pragma once
+
+#include <cstdint>
+
+#include "place/problem.h"
+
+namespace mfa::place {
+
+struct LegalizeResult {
+  bool success = true;
+  double total_displacement = 0.0;  // sum of macro |dx|+|dy|
+  std::int64_t macros_placed = 0;
+};
+
+class Legalizer {
+ public:
+  /// Legalises all macro objects in `placement` in place. Cell (LUT/FF)
+  /// objects are left at their global-placement coordinates (cell placement
+  /// is the downstream tool's job in the contest flow).
+  static LegalizeResult legalize_macros(const PlacementProblem& problem,
+                                        Placement& placement);
+
+  /// Verifies macro legality: on-device, correct column type, integral
+  /// sites, no overlap, cascades in consecutive rows, regions honoured.
+  /// Returns an empty string when legal, else a diagnostic.
+  static std::string check_macros(const PlacementProblem& problem,
+                                  const Placement& placement);
+};
+
+}  // namespace mfa::place

@@ -1,0 +1,100 @@
+// Analytical global placer (DREAMPlaceFPGA-style flow at library scale,
+// paper §IV / Fig. 6).
+//
+// Minimises net wirelength under per-resource bin-density constraints with a
+// region-tension term for region-constrained instances, alternating two
+// phases in the style of SimPL / lookahead legalisation:
+//   * wirelength descent: each object is pulled toward the weighted centroid
+//     of each incident net (star model of HPWL), with a Poisson-potential
+//     density force (ePlace-style) as gentle spreading pressure and a region
+//     tension force for region-constrained objects (the "region tension
+//     function" of §IV);
+//   * lookahead spreading: over-capacity bins evict excess area to the
+//     nearest bins with free capacity (LUT/FF), and macro objects are
+//     re-distributed in the column domain of their site type — which also
+//     keeps every macro x-aligned with a legal column, as cascades require.
+// The loop runs until the Fig. 6 overflow gate is met
+// (Overflow < 0.25 for DSP/BRAM/URAM, < 0.15 for LUT/FF).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "place/problem.h"
+
+namespace mfa::place {
+
+struct PlacerOptions {
+  std::int64_t bins_x = 32;
+  std::int64_t bins_y = 32;
+  std::int64_t max_iterations = 400;
+  double step = 0.8;             // base move step, in sites
+  double density_weight = 0.4;   // initial density-force weight
+  double density_growth = 1.01;  // per-iteration annealing factor
+  double region_weight = 3.0;    // region tension weight
+  double noise = 0.02;           // per-iteration jitter (sample diversity)
+  /// Lookahead-spreading cadence (iterations between spreading passes).
+  std::int64_t spread_interval = 4;
+  /// Fig. 6 overflow thresholds.
+  double macro_overflow_target = 0.25;
+  double cell_overflow_target = 0.15;
+  std::uint64_t seed = 1;
+};
+
+class GlobalPlacer {
+ public:
+  GlobalPlacer(PlacementProblem& problem, PlacerOptions options);
+
+  /// Spreads objects randomly across columns compatible with their resource
+  /// (region-constrained objects start inside their region).
+  void init_random();
+
+  /// Runs `n` gradient iterations; returns the iteration count actually run.
+  std::int64_t iterate(std::int64_t n);
+
+  /// Runs iterations until the Fig. 6 overflow gate passes or the iteration
+  /// budget is exhausted. Returns true if the gate was met.
+  bool run_until_overflow_target();
+
+  /// Current overflow per resource: sum over bins of max(0, usage - capacity)
+  /// normalised by total usage of that resource (0 when nothing overflows).
+  std::array<double, fpga::kNumResources> overflow() const;
+
+  /// Total star-model wirelength (for monitoring/tests).
+  double wirelength() const;
+
+  /// True when every resource meets its Fig. 6 threshold.
+  bool overflow_target_met() const;
+
+  Placement& placement() { return placement_; }
+  const Placement& placement() const { return placement_; }
+  const PlacerOptions& options() const { return options_; }
+  /// Total iterations executed so far across all iterate() calls.
+  std::int64_t total_iterations() const { return global_iter_; }
+
+ private:
+  void compute_density_maps();
+  void solve_potentials();
+  void clamp_object(std::int64_t oi);
+  /// Lookahead spreading: bin eviction for LUT/FF, column-domain
+  /// redistribution (and x-snap) for macro resources.
+  void spread_cells();
+  void spread_macros();
+
+  PlacementProblem* problem_;
+  PlacerOptions options_;
+  Placement placement_;
+  Rng rng_;
+  double density_weight_;
+  double noise_scale_ = 1.0;  // decays once the overflow gate is met
+  std::int64_t global_iter_ = 0;
+  // Per-resource bin maps.
+  std::array<std::vector<double>, fpga::kNumResources> usage_;
+  std::array<std::vector<double>, fpga::kNumResources> capacity_;
+  // Poisson potential per resource (warm-started across iterations).
+  std::array<std::vector<double>, fpga::kNumResources> potential_;
+  double bw_ = 1.0, bh_ = 1.0;  // bin extents in sites
+};
+
+}  // namespace mfa::place

@@ -1,0 +1,99 @@
+#include "place/problem.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mfa::place {
+
+PlacementProblem::PlacementProblem(const netlist::Design& design,
+                                   const fpga::DeviceGrid& device)
+    : design_(&design), device_(&device) {
+  const auto ncells = design.num_cells();
+  object_of_cell.assign(static_cast<size_t>(ncells), -1);
+
+  // One object per cascade, members stacked vertically in cascade order.
+  for (std::size_t si = 0; si < design.cascades.size(); ++si) {
+    const auto& shape = design.cascades[si];
+    MoveObject obj;
+    obj.cascade = static_cast<std::int32_t>(si);
+    obj.resource = design.cells[static_cast<size_t>(shape.macros[0])].resource;
+    obj.area = 0.0;
+    double off = 0.0;
+    for (const auto id : shape.macros) {
+      obj.cells.push_back(id);
+      obj.off_y.push_back(off);
+      off += 1.0;  // one site per macro, consecutive rows
+      obj.area += design.cells[static_cast<size_t>(id)].area;
+      // Region constraint of any member binds the whole cluster.
+      if (design.cells[static_cast<size_t>(id)].region >= 0)
+        obj.region = design.cells[static_cast<size_t>(id)].region;
+      object_of_cell[static_cast<size_t>(id)] =
+          static_cast<std::int32_t>(objects.size());
+    }
+    obj.base_area = obj.area;
+    obj.height = off;
+    objects.push_back(std::move(obj));
+  }
+
+  // One object per remaining cell.
+  for (std::int64_t i = 0; i < ncells; ++i) {
+    if (object_of_cell[static_cast<size_t>(i)] >= 0) continue;
+    const auto& cell = design.cells[static_cast<size_t>(i)];
+    MoveObject obj;
+    obj.cells.push_back(static_cast<std::int32_t>(i));
+    obj.off_y.push_back(0.0);
+    obj.resource = cell.resource;
+    obj.area = obj.base_area = cell.area;
+    obj.height = 1.0;
+    obj.region = cell.region;
+    object_of_cell[static_cast<size_t>(i)] =
+        static_cast<std::int32_t>(objects.size());
+    objects.push_back(std::move(obj));
+  }
+
+  // Nets in object space, merging duplicate object references.
+  net_pins.reserve(design.nets.size());
+  net_weights.reserve(design.nets.size());
+  std::unordered_map<std::int32_t, double> seen;
+  for (const auto& net : design.nets) {
+    seen.clear();
+    std::vector<ObjPin> pins;
+    for (const auto cell : net.pins) {
+      const auto obj = object_of_cell[static_cast<size_t>(cell)];
+      // Offset of this cell within its object.
+      const auto& o = objects[static_cast<size_t>(obj)];
+      double dy = 0.0;
+      for (size_t k = 0; k < o.cells.size(); ++k)
+        if (o.cells[k] == cell) {
+          dy = o.off_y[k];
+          break;
+        }
+      if (seen.emplace(obj, dy).second) pins.push_back({obj, dy});
+    }
+    if (pins.size() >= 2) {
+      net_pins.push_back(std::move(pins));
+      net_weights.push_back(net.weight);
+    }
+  }
+}
+
+void PlacementProblem::reset_areas() {
+  for (auto& obj : objects) obj.area = obj.base_area;
+}
+
+void Placement::expand(const PlacementProblem& problem,
+                       std::vector<double>& cell_x,
+                       std::vector<double>& cell_y) const {
+  const auto ncells = problem.design().num_cells();
+  cell_x.assign(static_cast<size_t>(ncells), 0.0);
+  cell_y.assign(static_cast<size_t>(ncells), 0.0);
+  for (size_t oi = 0; oi < problem.objects.size(); ++oi) {
+    const auto& obj = problem.objects[oi];
+    for (size_t k = 0; k < obj.cells.size(); ++k) {
+      cell_x[static_cast<size_t>(obj.cells[k])] = x[oi];
+      cell_y[static_cast<size_t>(obj.cells[k])] = y[oi] + obj.off_y[k];
+    }
+  }
+}
+
+}  // namespace mfa::place

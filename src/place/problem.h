@@ -1,0 +1,72 @@
+// Placement problem construction: cascade pre-clustering (paper §IV,
+// following the cascade handling of DREAMPlaceFPGA-MP [11]) and the
+// cell -> movable-object mapping the placer operates on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/device.h"
+#include "netlist/design.h"
+
+namespace mfa::place {
+
+/// A movable object: either a single cell or a merged cascade cluster whose
+/// members are stacked vertically in cascade order.
+struct MoveObject {
+  std::vector<std::int32_t> cells;  // member cell ids (size 1 unless cascade)
+  std::vector<double> off_y;        // vertical offset of each member
+  fpga::Resource resource = fpga::Resource::Lut;
+  double area = 1.0;       // current area in resource slots (inflatable)
+  double base_area = 1.0;  // pre-inflation area
+  double height = 1.0;     // vertical extent in sites
+  std::int32_t region = -1;
+  std::int32_t cascade = -1;  // source cascade id or -1
+
+  bool is_macro() const { return fpga::is_macro_resource(resource); }
+};
+
+/// Net pin in object space.
+struct ObjPin {
+  std::int32_t obj;
+  double dy;  // offset of the pin's cell within the object
+};
+
+class PlacementProblem {
+ public:
+  PlacementProblem(const netlist::Design& design,
+                   const fpga::DeviceGrid& device);
+
+  const netlist::Design& design() const { return *design_; }
+  const fpga::DeviceGrid& device() const { return *device_; }
+
+  std::vector<MoveObject> objects;
+  /// cell id -> owning object id.
+  std::vector<std::int32_t> object_of_cell;
+  /// Per design-net pins in object space (duplicate object pins merged).
+  std::vector<std::vector<ObjPin>> net_pins;
+  /// Net weights aligned with net_pins.
+  std::vector<float> net_weights;
+
+  std::int64_t num_objects() const {
+    return static_cast<std::int64_t>(objects.size());
+  }
+
+  /// Resets every object's area to its base area (undoes inflation).
+  void reset_areas();
+
+ private:
+  const netlist::Design* design_;
+  const fpga::DeviceGrid* device_;
+};
+
+/// Object positions (origin of each object, continuous site coordinates).
+struct Placement {
+  std::vector<double> x, y;
+
+  /// Expands object positions to per-cell coordinates.
+  void expand(const PlacementProblem& problem, std::vector<double>& cell_x,
+              std::vector<double>& cell_y) const;
+};
+
+}  // namespace mfa::place

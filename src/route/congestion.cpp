@@ -1,0 +1,130 @@
+#include "route/congestion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mfa::route {
+
+CongestionGrid::CongestionGrid(const fpga::InterconnectTileGrid& tiles)
+    : tiles_(&tiles) {
+  const auto n = static_cast<size_t>(tiles.num_tiles());
+  for (auto& per_class : demand_)
+    for (auto& per_dir : per_class) per_dir.assign(n, 0.0);
+}
+
+void CongestionGrid::add_demand(WireClass w, Direction d, std::int64_t gx,
+                                std::int64_t gy, double amount) {
+  demand_[static_cast<size_t>(w)][static_cast<size_t>(d)]
+         [static_cast<size_t>(tiles_->tile_index(gx, gy))] += amount;
+}
+
+double CongestionGrid::utilisation(WireClass w, Direction d, std::int64_t gx,
+                                   std::int64_t gy) const {
+  const auto cap = static_cast<double>(tiles_->capacity(w));
+  return demand(w, d, gx, gy) / cap;
+}
+
+double CongestionGrid::max_utilisation(std::int64_t gx, std::int64_t gy) const {
+  double best = 0.0;
+  for (size_t w = 0; w < fpga::kNumWireClasses; ++w)
+    for (size_t d = 0; d < fpga::kNumDirections; ++d)
+      best = std::max(best, utilisation(static_cast<WireClass>(w),
+                                        static_cast<Direction>(d), gx, gy));
+  return best;
+}
+
+std::int64_t CongestionGrid::overused_count(double threshold) const {
+  std::int64_t count = 0;
+  for (size_t w = 0; w < fpga::kNumWireClasses; ++w)
+    for (size_t d = 0; d < fpga::kNumDirections; ++d)
+      for (std::int64_t gy = 0; gy < height(); ++gy)
+        for (std::int64_t gx = 0; gx < width(); ++gx)
+          count += (utilisation(static_cast<WireClass>(w),
+                                static_cast<Direction>(d), gx, gy) > threshold);
+  return count;
+}
+
+void CongestionGrid::clear() {
+  for (auto& per_class : demand_)
+    for (auto& per_dir : per_class)
+      std::fill(per_dir.begin(), per_dir.end(), 0.0);
+}
+
+namespace {
+
+/// Aligned-window level extraction for one utilisation field.
+LevelMap extract_levels(const std::vector<double>& util, std::int64_t gw,
+                        std::int64_t gh, double threshold,
+                        std::int32_t max_level) {
+  LevelMap out;
+  out.level.assign(static_cast<size_t>(gw * gh), 0);
+  // Summed-area table for O(1) window sums.
+  std::vector<double> sat(static_cast<size_t>((gw + 1) * (gh + 1)), 0.0);
+  for (std::int64_t y = 0; y < gh; ++y)
+    for (std::int64_t x = 0; x < gw; ++x)
+      sat[static_cast<size_t>((y + 1) * (gw + 1) + (x + 1))] =
+          util[static_cast<size_t>(y * gw + x)] +
+          sat[static_cast<size_t>(y * (gw + 1) + (x + 1))] +
+          sat[static_cast<size_t>((y + 1) * (gw + 1) + x)] -
+          sat[static_cast<size_t>(y * (gw + 1) + x)];
+  const auto window_avg = [&](std::int64_t x0, std::int64_t y0,
+                              std::int64_t s) {
+    const std::int64_t x1 = std::min(gw, x0 + s);
+    const std::int64_t y1 = std::min(gh, y0 + s);
+    const double sum =
+        sat[static_cast<size_t>(y1 * (gw + 1) + x1)] -
+        sat[static_cast<size_t>(y0 * (gw + 1) + x1)] -
+        sat[static_cast<size_t>(y1 * (gw + 1) + x0)] +
+        sat[static_cast<size_t>(y0 * (gw + 1) + x0)];
+    return sum / static_cast<double>((x1 - x0) * (y1 - y0));
+  };
+
+  for (std::int32_t k = 0; k <= max_level - 1; ++k) {
+    const std::int64_t s = std::int64_t{1} << k;
+    if (s > std::max(gw, gh)) break;
+    bool any = false;
+    for (std::int64_t y0 = 0; y0 < gh; y0 += s)
+      for (std::int64_t x0 = 0; x0 < gw; x0 += s) {
+        if (window_avg(x0, y0, s) < threshold) continue;
+        any = true;
+        const std::int32_t lvl = k + 1;
+        for (std::int64_t y = y0; y < std::min(gh, y0 + s); ++y)
+          for (std::int64_t x = x0; x < std::min(gw, x0 + s); ++x) {
+            auto& cell = out.level[static_cast<size_t>(y * gw + x)];
+            cell = std::max(cell, lvl);
+          }
+      }
+    if (!any && k > 0) break;  // larger windows only get sparser
+  }
+  for (const auto lvl : out.level)
+    out.design_level = std::max(out.design_level, lvl);
+  return out;
+}
+
+}  // namespace
+
+CongestionAnalysis analyze_congestion(const CongestionGrid& grid,
+                                      const AnalysisOptions& options) {
+  CongestionAnalysis out;
+  out.gw = grid.width();
+  out.gh = grid.height();
+  out.max_level = options.max_level;
+  const auto n = static_cast<size_t>(out.gw * out.gh);
+  out.label.assign(n, 0.0f);
+  std::vector<double> util(n);
+  for (size_t w = 0; w < fpga::kNumWireClasses; ++w)
+    for (size_t d = 0; d < fpga::kNumDirections; ++d) {
+      for (std::int64_t gy = 0; gy < out.gh; ++gy)
+        for (std::int64_t gx = 0; gx < out.gw; ++gx)
+          util[static_cast<size_t>(gy * out.gw + gx)] = grid.utilisation(
+              static_cast<WireClass>(w), static_cast<Direction>(d), gx, gy);
+      out.levels[w][d] = extract_levels(util, out.gw, out.gh,
+                                        options.threshold, options.max_level);
+      for (size_t i = 0; i < n; ++i)
+        out.label[i] = std::max(
+            out.label[i], static_cast<float>(out.levels[w][d].level[i]));
+    }
+  return out;
+}
+
+}  // namespace mfa::route

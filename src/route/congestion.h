@@ -1,0 +1,91 @@
+// Congestion bookkeeping over the interconnect tile grid and Vivado-style
+// congestion-level extraction.
+//
+// Demand is tracked per (wire class, direction, tile). The congestion *level*
+// of a tile follows the Vivado report convention the MLCAD 2023 contest
+// scores against: level k (k >= 1) means the tile lies in an aligned
+// 2^(k-1) x 2^(k-1) window whose average utilisation exceeds a threshold —
+// i.e. higher levels indicate *regionally* saturated routing, which is
+// exactly the long-range structure the paper's transformer layers target.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fpga/tile_grid.h"
+
+namespace mfa::route {
+
+using fpga::Direction;
+using fpga::WireClass;
+
+/// Mutable demand state for one routing pass.
+class CongestionGrid {
+ public:
+  explicit CongestionGrid(const fpga::InterconnectTileGrid& tiles);
+
+  const fpga::InterconnectTileGrid& tiles() const { return *tiles_; }
+  std::int64_t width() const { return tiles_->width(); }
+  std::int64_t height() const { return tiles_->height(); }
+
+  double demand(WireClass w, Direction d, std::int64_t gx,
+                std::int64_t gy) const {
+    return demand_[static_cast<size_t>(w)][static_cast<size_t>(d)]
+                  [static_cast<size_t>(tiles_->tile_index(gx, gy))];
+  }
+  void add_demand(WireClass w, Direction d, std::int64_t gx, std::int64_t gy,
+                  double amount);
+
+  /// demand / capacity for one (wire class, direction, tile).
+  double utilisation(WireClass w, Direction d, std::int64_t gx,
+                     std::int64_t gy) const;
+
+  /// Worst utilisation over all classes/directions of one tile.
+  double max_utilisation(std::int64_t gx, std::int64_t gy) const;
+
+  /// Number of (class, direction, tile) entries above `threshold`.
+  std::int64_t overused_count(double threshold = 1.0) const;
+
+  void clear();
+
+ private:
+  const fpga::InterconnectTileGrid* tiles_;
+  std::array<std::array<std::vector<double>, fpga::kNumDirections>,
+             fpga::kNumWireClasses>
+      demand_;
+};
+
+/// Result of level extraction for one (wire class, direction).
+struct LevelMap {
+  std::vector<std::int32_t> level;  // per tile, 0 .. max_level
+  std::int32_t design_level = 0;    // max over tiles (the contest's L_{w,d})
+};
+
+struct CongestionAnalysis {
+  /// levels[w][d] per wire class / direction.
+  std::array<std::array<LevelMap, fpga::kNumDirections>, fpga::kNumWireClasses>
+      levels;
+  /// Per-tile combined level: max over classes and directions. This is the
+  /// model's training label (floats holding integral levels).
+  std::vector<float> label;
+  std::int64_t gw = 0, gh = 0;
+  std::int32_t max_level = 0;
+
+  std::int32_t design_level(WireClass w, Direction d) const {
+    return levels[static_cast<size_t>(w)][static_cast<size_t>(d)].design_level;
+  }
+};
+
+struct AnalysisOptions {
+  /// Window-average utilisation that counts as congested.
+  double threshold = 0.9;
+  /// Cap on reported levels (the label classifier uses max_level+1 classes).
+  std::int32_t max_level = 7;
+};
+
+/// Extracts Vivado-style windowed congestion levels from the demand state.
+CongestionAnalysis analyze_congestion(const CongestionGrid& grid,
+                                      const AnalysisOptions& options = {});
+
+}  // namespace mfa::route

@@ -1,0 +1,40 @@
+#include "route/score.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mfa::route::score {
+
+double s_ir(const CongestionAnalysis& analysis) {
+  double total = 1.0;
+  for (size_t d = 0; d < fpga::kNumDirections; ++d) {
+    const double ls = analysis.design_level(WireClass::Short,
+                                            static_cast<Direction>(d));
+    const double lg = analysis.design_level(WireClass::Global,
+                                            static_cast<Direction>(d));
+    const double ps = std::max(0.0, ls - 3.0);
+    const double pg = std::max(0.0, lg - 3.0);
+    total += ps * ps + pg * pg;
+  }
+  return total;
+}
+
+double s_dr(std::int64_t detailed_iterations) {
+  // Vivado's detailed router takes several iterations even on clean
+  // placements; the +5 floor and the 1/2.5 compression align our negotiation
+  // count (0..24) with the contest's observed S_DR range (roughly 6..15).
+  return 5.0 + std::ceil(static_cast<double>(detailed_iterations) / 2.5);
+}
+
+double t_pr_hours(double s_ir_value, double s_dr_value,
+                  double routed_wirelength, std::int64_t num_connections) {
+  const double size_term =
+      1.5e-6 * routed_wirelength + 2.0e-7 * static_cast<double>(num_connections);
+  return 0.18 + 0.015 * s_dr_value + 0.008 * s_ir_value + size_term;
+}
+
+double s_score(double t_macro_minutes, double s_r_value, double t_pr) {
+  return (1.0 + std::max(0.0, t_macro_minutes - 10.0)) * s_r_value * t_pr;
+}
+
+}  // namespace mfa::route::score

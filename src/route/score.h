@@ -1,0 +1,34 @@
+// MLCAD 2023 routability scoring (paper §II-B, Eqs. 1-3).
+#pragma once
+
+#include <cstdint>
+
+#include "route/congestion.h"
+
+namespace mfa::route::score {
+
+/// Eq. 1: S_IR = 1 + sum_d [ max(0, L_short,d - 3)^2 + max(0, L_global,d - 3)^2 ].
+double s_ir(const CongestionAnalysis& analysis);
+
+/// Eq. 2 input: the contest derives S_DR from the Vivado detailed-router
+/// iteration count. Our proxy maps the negotiation iterations of
+/// GlobalRouter::detailed_route through an affine floor so scores land in
+/// the contest's observed range (Table II: 6-15).
+double s_dr(std::int64_t detailed_iterations);
+
+/// Eq. 2: S_R = S_IR * S_DR.
+inline double s_r(double s_ir_value, double s_dr_value) {
+  return s_ir_value * s_dr_value;
+}
+
+/// Proxy for the Vivado place-and-route runtime T_P&R in hours: grows with
+/// residual congestion and design size, matching the Table II correlation
+/// between congested designs and long P&R times.
+double t_pr_hours(double s_ir_value, double s_dr_value,
+                  double routed_wirelength, std::int64_t num_connections);
+
+/// Eq. 3: S_score = [1 + max(0, T_macro - 10)] * S_R * T_P&R
+/// with T_macro in minutes and T_P&R in hours.
+double s_score(double t_macro_minutes, double s_r_value, double t_pr_hours);
+
+}  // namespace mfa::route::score

@@ -1,0 +1,51 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace mfa {
+
+GradCheckResult gradcheck(const std::function<Tensor()>& fn,
+                          const std::vector<Tensor>& inputs, float eps,
+                          float tol) {
+  GradCheckResult result;
+  // Analytic pass.
+  for (const auto& in : inputs) const_cast<Tensor&>(in).zero_grad();
+  Tensor loss = fn();
+  loss.backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (const auto& in : inputs) analytic.push_back(in.grad().to_vector());
+
+  // Numeric pass (central differences), one coordinate at a time.
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    Tensor in = inputs[t];
+    const auto n = in.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float orig = in.data()[i];
+      in.data()[i] = orig + eps;
+      const float up = fn().item();
+      in.data()[i] = orig - eps;
+      const float dn = fn().item();
+      in.data()[i] = orig;
+      const float numeric = (up - dn) / (2.0f * eps);
+      const float exact = analytic[t][static_cast<size_t>(i)];
+      const float abs_err = std::fabs(numeric - exact);
+      const float denom = std::max(1.0f, std::max(std::fabs(numeric), std::fabs(exact)));
+      const float rel_err = abs_err / denom;
+      result.max_abs_err = std::max(result.max_abs_err, abs_err);
+      result.max_rel_err = std::max(result.max_rel_err, rel_err);
+      if (rel_err > tol && abs_err > tol && result.ok) {
+        result.ok = false;
+        result.detail = log::format(
+            "input %zu elem %lld: analytic=%.6f numeric=%.6f", t,
+            static_cast<long long>(i), static_cast<double>(exact),
+            static_cast<double>(numeric));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mfa

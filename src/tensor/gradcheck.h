@@ -1,0 +1,26 @@
+// Finite-difference gradient verification for autograd kernels.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mfa {
+
+struct GradCheckResult {
+  bool ok = true;
+  float max_abs_err = 0.0f;
+  float max_rel_err = 0.0f;
+  std::string detail;  // first offending element, for diagnostics
+};
+
+/// Compares analytic gradients of `fn` (a scalar-valued function of `inputs`)
+/// against central finite differences. All inputs must require grad.
+/// `eps` is the finite-difference step; `tol` bounds max(abs_err, rel_err).
+GradCheckResult gradcheck(const std::function<Tensor()>& fn,
+                          const std::vector<Tensor>& inputs, float eps = 1e-3f,
+                          float tol = 5e-2f);
+
+}  // namespace mfa

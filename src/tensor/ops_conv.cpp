@@ -1,0 +1,381 @@
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include <mutex>
+
+#include "common/log.h"
+#include "common/parallel.h"
+#include "tensor/ops.h"
+
+namespace mfa::ops {
+namespace {
+
+// Accumulating GEMM kernels local to the conv lowering (see ops_matmul.cpp
+// for the layout conventions).
+// Sequential on purpose: conv2d parallelises over the batch dimension, so a
+// nested parallel_for here would oversubscribe the machine.
+void gemm_nn(const float* A, const float* B, float* C, std::int64_t m,
+             std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* c = C + i * n;
+    const float* a = A + i * k;
+    for (std::int64_t l = 0; l < k; ++l) {
+      const float av = a[l];
+      if (av == 0.0f) continue;
+      const float* b = B + l * n;
+      for (std::int64_t j = 0; j < n; ++j) c[j] += av * b[j];
+    }
+  }
+}
+
+void gemm_nt(const float* A, const float* B, float* C, std::int64_t m,
+             std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a = A + i * k;
+    float* c = C + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* b = B + j * k;
+      double acc = 0.0;
+      for (std::int64_t l = 0; l < k; ++l)
+        acc += static_cast<double>(a[l]) * b[l];
+      c[j] += static_cast<float>(acc);
+    }
+  }
+}
+
+void gemm_tn(const float* A, const float* B, float* C, std::int64_t m,
+             std::int64_t k, std::int64_t n) {
+  for (std::int64_t l = 0; l < k; ++l) {
+    const float* a = A + l * m;
+    const float* b = B + l * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = a[i];
+      if (av == 0.0f) continue;
+      float* c = C + i * n;
+      for (std::int64_t j = 0; j < n; ++j) c[j] += av * b[j];
+    }
+  }
+}
+
+struct ConvDims {
+  std::int64_t N, Cin, H, W, Cout, Kh, Kw, Hout, Wout, stride, pad;
+};
+
+ConvDims conv_dims(const Tensor& x, const Tensor& w, std::int64_t stride,
+                   std::int64_t pad) {
+  if (x.dim() != 4 || w.dim() != 4)
+    throw std::invalid_argument("conv2d: x and w must be 4-D (NCHW)");
+  ConvDims d{};
+  d.N = x.size(0);
+  d.Cin = x.size(1);
+  d.H = x.size(2);
+  d.W = x.size(3);
+  d.Cout = w.size(0);
+  d.Kh = w.size(2);
+  d.Kw = w.size(3);
+  d.stride = stride;
+  d.pad = pad;
+  if (w.size(1) != d.Cin)
+    throw std::invalid_argument(
+        log::format("conv2d: Cin mismatch (%lld vs %lld)",
+                    static_cast<long long>(w.size(1)),
+                    static_cast<long long>(d.Cin)));
+  d.Hout = (d.H + 2 * pad - d.Kh) / stride + 1;
+  d.Wout = (d.W + 2 * pad - d.Kw) / stride + 1;
+  if (d.Hout <= 0 || d.Wout <= 0)
+    throw std::invalid_argument("conv2d: empty output");
+  return d;
+}
+
+/// Unfolds one image [Cin,H,W] into columns [Cin*Kh*Kw, Hout*Wout].
+void im2col(const float* img, const ConvDims& d, float* col) {
+  const std::int64_t HW = d.Hout * d.Wout;
+  for (std::int64_t c = 0; c < d.Cin; ++c)
+    for (std::int64_t kh = 0; kh < d.Kh; ++kh)
+      for (std::int64_t kw = 0; kw < d.Kw; ++kw) {
+        float* dst = col + ((c * d.Kh + kh) * d.Kw + kw) * HW;
+        for (std::int64_t oh = 0; oh < d.Hout; ++oh) {
+          const std::int64_t ih = oh * d.stride - d.pad + kh;
+          if (ih < 0 || ih >= d.H) {
+            std::fill(dst + oh * d.Wout, dst + (oh + 1) * d.Wout, 0.0f);
+            continue;
+          }
+          const float* src_row = img + (c * d.H + ih) * d.W;
+          for (std::int64_t ow = 0; ow < d.Wout; ++ow) {
+            const std::int64_t iw = ow * d.stride - d.pad + kw;
+            dst[oh * d.Wout + ow] =
+                (iw >= 0 && iw < d.W) ? src_row[iw] : 0.0f;
+          }
+        }
+      }
+}
+
+/// Scatter-adds columns [Cin*Kh*Kw, Hout*Wout] back into an image gradient.
+void col2im(const float* col, const ConvDims& d, float* img) {
+  const std::int64_t HW = d.Hout * d.Wout;
+  for (std::int64_t c = 0; c < d.Cin; ++c)
+    for (std::int64_t kh = 0; kh < d.Kh; ++kh)
+      for (std::int64_t kw = 0; kw < d.Kw; ++kw) {
+        const float* src = col + ((c * d.Kh + kh) * d.Kw + kw) * HW;
+        for (std::int64_t oh = 0; oh < d.Hout; ++oh) {
+          const std::int64_t ih = oh * d.stride - d.pad + kh;
+          if (ih < 0 || ih >= d.H) continue;
+          float* dst_row = img + (c * d.H + ih) * d.W;
+          for (std::int64_t ow = 0; ow < d.Wout; ++ow) {
+            const std::int64_t iw = ow * d.stride - d.pad + kw;
+            if (iw >= 0 && iw < d.W) dst_row[iw] += src[oh * d.Wout + ow];
+          }
+        }
+      }
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
+              std::int64_t stride, std::int64_t padding) {
+  const ConvDims d = conv_dims(x, w, stride, padding);
+  const std::int64_t CKK = d.Cin * d.Kh * d.Kw;
+  const std::int64_t HW = d.Hout * d.Wout;
+
+  std::vector<Tensor> inputs = {x, w};
+  if (b.defined()) inputs.push_back(b);
+  Tensor out = Tensor::make_result(
+      {d.N, d.Cout, d.Hout, d.Wout}, inputs,
+      [x, w, b, d, CKK, HW](detail::TensorImpl& o) {
+        auto xi = x.impl();
+        auto wi = w.impl();
+        const float* go = o.grad.data();
+        if (xi->requires_grad) xi->ensure_grad();
+        if (wi->requires_grad) wi->ensure_grad();
+        // Batch-parallel backward: dx writes are disjoint per sample; dW is
+        // accumulated into per-chunk scratch and merged under a mutex.
+        std::mutex merge_mutex;
+        parallel_for(
+            d.N,
+            [&](std::int64_t n0, std::int64_t n1) {
+              std::vector<float> col(static_cast<size_t>(CKK * HW));
+              std::vector<float> dcol(static_cast<size_t>(CKK * HW));
+              std::vector<float> dw(
+                  wi->requires_grad ? static_cast<size_t>(d.Cout * CKK) : 0,
+                  0.0f);
+              for (std::int64_t n = n0; n < n1; ++n) {
+                const float* gout = go + n * d.Cout * HW;
+                if (wi->requires_grad) {
+                  im2col(xi->data.data() + n * d.Cin * d.H * d.W, d,
+                         col.data());
+                  // dW[Cout,CKK] += gO[Cout,HW] * col[CKK,HW]^T
+                  gemm_nt(gout, col.data(), dw.data(), d.Cout, HW, CKK);
+                }
+                if (xi->requires_grad) {
+                  std::fill(dcol.begin(), dcol.end(), 0.0f);
+                  // dcol[CKK,HW] += W[Cout,CKK]^T * gO[Cout,HW]
+                  gemm_tn(wi->data.data(), gout, dcol.data(), CKK, d.Cout,
+                          HW);
+                  col2im(dcol.data(), d,
+                         xi->grad.data() + n * d.Cin * d.H * d.W);
+                }
+              }
+              if (wi->requires_grad) {
+                const std::lock_guard<std::mutex> lock(merge_mutex);
+                for (std::int64_t i = 0; i < d.Cout * CKK; ++i)
+                  wi->grad[static_cast<size_t>(i)] +=
+                      dw[static_cast<size_t>(i)];
+              }
+            },
+            /*grain=*/1);
+        if (b.defined() && b.impl()->requires_grad) {
+          auto bi = b.impl();
+          bi->ensure_grad();
+          for (std::int64_t n = 0; n < d.N; ++n)
+            for (std::int64_t c = 0; c < d.Cout; ++c) {
+              const float* src = go + (n * d.Cout + c) * HW;
+              double acc = 0.0;
+              for (std::int64_t i = 0; i < HW; ++i) acc += src[i];
+              bi->grad[static_cast<size_t>(c)] += static_cast<float>(acc);
+            }
+        }
+      });
+
+  // Batch-parallel forward: each sample writes a disjoint output slice.
+  {
+    const float* xv = x.data();
+    const float* wv = w.data();
+    float* ov = out.data();
+    parallel_for(
+        d.N,
+        [&](std::int64_t n0, std::int64_t n1) {
+          std::vector<float> col(static_cast<size_t>(CKK * HW));
+          for (std::int64_t n = n0; n < n1; ++n) {
+            im2col(xv + n * d.Cin * d.H * d.W, d, col.data());
+            float* dst = ov + n * d.Cout * HW;
+            gemm_nn(wv, col.data(), dst, d.Cout, CKK, HW);
+            if (b.defined()) {
+              for (std::int64_t c = 0; c < d.Cout; ++c) {
+                const float bv = b.data()[c];
+                float* row = dst + c * HW;
+                for (std::int64_t i = 0; i < HW; ++i) row[i] += bv;
+              }
+            }
+          }
+        },
+        /*grain=*/1);
+  }
+  return out;
+}
+
+Tensor max_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
+  const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  const std::int64_t Hout = (H - kernel) / stride + 1;
+  const std::int64_t Wout = (W - kernel) / stride + 1;
+  auto arg = std::make_shared<std::vector<std::int64_t>>(
+      static_cast<size_t>(N * C * Hout * Wout));
+  Tensor out = Tensor::make_result(
+      {N, C, Hout, Wout}, {x}, [x, arg](detail::TensorImpl& o) {
+        auto xi = x.impl();
+        if (!xi->requires_grad) return;
+        xi->ensure_grad();
+        const float* go = o.grad.data();
+        float* gx = xi->grad.data();
+        const auto n = static_cast<std::int64_t>(o.data.size());
+        for (std::int64_t i = 0; i < n; ++i)
+          gx[(*arg)[static_cast<size_t>(i)]] += go[i];
+      });
+  const float* xv = x.data();
+  float* ov = out.data();
+  std::int64_t oi = 0;
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float* plane = xv + (n * C + c) * H * W;
+      const std::int64_t plane_off = (n * C + c) * H * W;
+      for (std::int64_t oh = 0; oh < Hout; ++oh)
+        for (std::int64_t ow = 0; ow < Wout; ++ow, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t bix = 0;
+          for (std::int64_t kh = 0; kh < kernel; ++kh)
+            for (std::int64_t kw = 0; kw < kernel; ++kw) {
+              const std::int64_t ih = oh * stride + kh;
+              const std::int64_t iw = ow * stride + kw;
+              const float v = plane[ih * W + iw];
+              if (v > best) {
+                best = v;
+                bix = plane_off + ih * W + iw;
+              }
+            }
+          ov[oi] = best;
+          (*arg)[static_cast<size_t>(oi)] = bix;
+        }
+    }
+  return out;
+}
+
+Tensor avg_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
+  const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  const std::int64_t Hout = (H - kernel) / stride + 1;
+  const std::int64_t Wout = (W - kernel) / stride + 1;
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  Tensor out = Tensor::make_result(
+      {N, C, Hout, Wout}, {x},
+      [x, kernel, stride, N, C, H, W, Hout, Wout, inv](detail::TensorImpl& o) {
+        auto xi = x.impl();
+        if (!xi->requires_grad) return;
+        xi->ensure_grad();
+        const float* go = o.grad.data();
+        float* gx = xi->grad.data();
+        std::int64_t oi = 0;
+        for (std::int64_t n = 0; n < N; ++n)
+          for (std::int64_t c = 0; c < C; ++c) {
+            float* plane = gx + (n * C + c) * H * W;
+            for (std::int64_t oh = 0; oh < Hout; ++oh)
+              for (std::int64_t ow = 0; ow < Wout; ++ow, ++oi) {
+                const float g = go[oi] * inv;
+                for (std::int64_t kh = 0; kh < kernel; ++kh)
+                  for (std::int64_t kw = 0; kw < kernel; ++kw)
+                    plane[(oh * stride + kh) * W + (ow * stride + kw)] += g;
+              }
+          }
+      });
+  const float* xv = x.data();
+  float* ov = out.data();
+  std::int64_t oi = 0;
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float* plane = xv + (n * C + c) * H * W;
+      for (std::int64_t oh = 0; oh < Hout; ++oh)
+        for (std::int64_t ow = 0; ow < Wout; ++ow, ++oi) {
+          double acc = 0.0;
+          for (std::int64_t kh = 0; kh < kernel; ++kh)
+            for (std::int64_t kw = 0; kw < kernel; ++kw)
+              acc += plane[(oh * stride + kh) * W + (ow * stride + kw)];
+          ov[oi] = static_cast<float>(acc) * inv;
+        }
+    }
+  return out;
+}
+
+Tensor upsample_nearest2x(const Tensor& x) {
+  const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  Tensor out = Tensor::make_result(
+      {N, C, H * 2, W * 2}, {x}, [x, N, C, H, W](detail::TensorImpl& o) {
+        auto xi = x.impl();
+        if (!xi->requires_grad) return;
+        xi->ensure_grad();
+        const float* go = o.grad.data();
+        float* gx = xi->grad.data();
+        for (std::int64_t p = 0; p < N * C; ++p) {
+          const float* gplane = go + p * 4 * H * W;
+          float* xplane = gx + p * H * W;
+          for (std::int64_t h = 0; h < H; ++h)
+            for (std::int64_t w = 0; w < W; ++w) {
+              xplane[h * W + w] += gplane[(2 * h) * 2 * W + 2 * w] +
+                                   gplane[(2 * h) * 2 * W + 2 * w + 1] +
+                                   gplane[(2 * h + 1) * 2 * W + 2 * w] +
+                                   gplane[(2 * h + 1) * 2 * W + 2 * w + 1];
+            }
+        }
+      });
+  const float* xv = x.data();
+  float* ov = out.data();
+  for (std::int64_t p = 0; p < N * C; ++p) {
+    const float* xplane = xv + p * H * W;
+    float* oplane = ov + p * 4 * H * W;
+    for (std::int64_t h = 0; h < H; ++h)
+      for (std::int64_t w = 0; w < W; ++w) {
+        const float v = xplane[h * W + w];
+        oplane[(2 * h) * 2 * W + 2 * w] = v;
+        oplane[(2 * h) * 2 * W + 2 * w + 1] = v;
+        oplane[(2 * h + 1) * 2 * W + 2 * w] = v;
+        oplane[(2 * h + 1) * 2 * W + 2 * w + 1] = v;
+      }
+  }
+  return out;
+}
+
+Tensor global_avg_pool(const Tensor& x) {
+  const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  const float inv = 1.0f / static_cast<float>(H * W);
+  Tensor out = Tensor::make_result(
+      {N, C, 1, 1}, {x}, [x, N, C, H, W, inv](detail::TensorImpl& o) {
+        auto xi = x.impl();
+        if (!xi->requires_grad) return;
+        xi->ensure_grad();
+        const float* go = o.grad.data();
+        float* gx = xi->grad.data();
+        for (std::int64_t p = 0; p < N * C; ++p) {
+          const float g = go[p] * inv;
+          float* plane = gx + p * H * W;
+          for (std::int64_t i = 0; i < H * W; ++i) plane[i] += g;
+        }
+      });
+  const float* xv = x.data();
+  float* ov = out.data();
+  for (std::int64_t p = 0; p < N * C; ++p) {
+    const float* plane = xv + p * H * W;
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < H * W; ++i) acc += plane[i];
+    ov[p] = static_cast<float>(acc) * inv;
+  }
+  return out;
+}
+
+}  // namespace mfa::ops

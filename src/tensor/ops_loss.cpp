@@ -1,0 +1,118 @@
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "tensor/ops.h"
+
+namespace mfa::ops {
+
+Tensor cross_entropy(const Tensor& logits, const Tensor& targets) {
+  // Normalise both layouts to [outer, C, inner]:
+  //   [N, C] + [N]            -> outer=N, inner=1
+  //   [N, C, H, W] + [N,H,W]  -> outer=N, inner=H*W
+  const auto nd = logits.dim();
+  std::int64_t outer = 0, classes = 0, inner = 0;
+  if (nd == 2) {
+    outer = logits.size(0);
+    classes = logits.size(1);
+    inner = 1;
+    if (targets.numel() != outer)
+      throw std::invalid_argument("cross_entropy: target count mismatch");
+  } else if (nd == 4) {
+    outer = logits.size(0);
+    classes = logits.size(1);
+    inner = logits.size(2) * logits.size(3);
+    if (targets.numel() != outer * inner)
+      throw std::invalid_argument("cross_entropy: target count mismatch");
+  } else {
+    throw std::invalid_argument("cross_entropy: logits must be 2-D or 4-D");
+  }
+  const std::int64_t count = outer * inner;
+
+  Tensor out = Tensor::make_result(
+      {1}, {logits}, [logits, targets, outer, classes, inner,
+                      count](detail::TensorImpl& o) {
+        auto li = logits.impl();
+        if (!li->requires_grad) return;
+        li->ensure_grad();
+        const float g = o.grad[0] / static_cast<float>(count);
+        const float* lv = li->data.data();
+        const float* tv = targets.data();
+        float* gl = li->grad.data();
+        for (std::int64_t r = 0; r < outer; ++r)
+          for (std::int64_t k = 0; k < inner; ++k) {
+            const auto base = r * classes * inner + k;
+            float mx = -std::numeric_limits<float>::infinity();
+            for (std::int64_t c = 0; c < classes; ++c)
+              mx = std::max(mx, lv[base + c * inner]);
+            double z = 0.0;
+            for (std::int64_t c = 0; c < classes; ++c)
+              z += std::exp(lv[base + c * inner] - mx);
+            const auto target =
+                static_cast<std::int64_t>(tv[r * inner + k]);
+            for (std::int64_t c = 0; c < classes; ++c) {
+              const float p = static_cast<float>(
+                  std::exp(lv[base + c * inner] - mx) / z);
+              gl[base + c * inner] += g * (p - (c == target ? 1.0f : 0.0f));
+            }
+          }
+      });
+  // Forward: mean of -log p(target).
+  const float* lv = logits.data();
+  const float* tv = targets.data();
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < outer; ++r)
+    for (std::int64_t k = 0; k < inner; ++k) {
+      const auto base = r * classes * inner + k;
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::int64_t c = 0; c < classes; ++c)
+        mx = std::max(mx, lv[base + c * inner]);
+      double z = 0.0;
+      for (std::int64_t c = 0; c < classes; ++c)
+        z += std::exp(lv[base + c * inner] - mx);
+      const auto target = static_cast<std::int64_t>(tv[r * inner + k]);
+      if (target < 0 || target >= classes)
+        throw std::out_of_range(log::format(
+            "cross_entropy: target %lld outside [0, %lld)",
+            static_cast<long long>(target), static_cast<long long>(classes)));
+      loss -= (lv[base + target * inner] - mx) - std::log(z);
+    }
+  out.data()[0] = static_cast<float>(loss / static_cast<double>(count));
+  return out;
+}
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  if (pred.numel() != target.numel())
+    throw std::invalid_argument("mse_loss: size mismatch");
+  const auto n = pred.numel();
+  Tensor out = Tensor::make_result(
+      {1}, {pred, target}, [pred, target, n](detail::TensorImpl& o) {
+        const float g = o.grad[0] * 2.0f / static_cast<float>(n);
+        auto pi = pred.impl();
+        auto ti = target.impl();
+        const float* pv = pi->data.data();
+        const float* tv = ti->data.data();
+        if (pi->requires_grad) {
+          pi->ensure_grad();
+          float* gp = pi->grad.data();
+          for (std::int64_t i = 0; i < n; ++i) gp[i] += g * (pv[i] - tv[i]);
+        }
+        if (ti->requires_grad) {
+          ti->ensure_grad();
+          float* gt = ti->grad.data();
+          for (std::int64_t i = 0; i < n; ++i) gt[i] -= g * (pv[i] - tv[i]);
+        }
+      });
+  const float* pv = pred.data();
+  const float* tv = target.data();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pv[i]) - tv[i];
+    acc += d * d;
+  }
+  out.data()[0] = static_cast<float>(acc / static_cast<double>(n));
+  return out;
+}
+
+}  // namespace mfa::ops

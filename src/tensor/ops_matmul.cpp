@@ -1,0 +1,115 @@
+#include <stdexcept>
+
+#include "common/log.h"
+#include "common/parallel.h"
+#include "tensor/ops.h"
+
+namespace mfa::ops {
+namespace {
+
+// Accumulating GEMM kernels (C += op(A) * op(B)), row-major. The ikj loop
+// order keeps the inner loop streaming over contiguous rows of B and C.
+
+/// C[m,n] += A[m,k] * B[k,n]
+void gemm_nn(const float* A, const float* B, float* C, std::int64_t m,
+             std::int64_t k, std::int64_t n) {
+  parallel_for(m, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* c = C + i * n;
+      const float* a = A + i * k;
+      for (std::int64_t l = 0; l < k; ++l) {
+        const float av = a[l];
+        if (av == 0.0f) continue;
+        const float* b = B + l * n;
+        for (std::int64_t j = 0; j < n; ++j) c[j] += av * b[j];
+      }
+    }
+  }, /*grain=*/16);
+}
+
+/// C[m,n] += A[m,k] * B[n,k]^T
+void gemm_nt(const float* A, const float* B, float* C, std::int64_t m,
+             std::int64_t k, std::int64_t n) {
+  parallel_for(m, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* a = A + i * k;
+      float* c = C + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* b = B + j * k;
+        double acc = 0.0;
+        for (std::int64_t l = 0; l < k; ++l) acc += static_cast<double>(a[l]) * b[l];
+        c[j] += static_cast<float>(acc);
+      }
+    }
+  }, /*grain=*/16);
+}
+
+/// C[m,n] += A[k,m]^T * B[k,n]
+void gemm_tn(const float* A, const float* B, float* C, std::int64_t m,
+             std::int64_t k, std::int64_t n) {
+  parallel_for(m, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t l = 0; l < k; ++l) {
+      const float* a = A + l * m;
+      const float* b = B + l * n;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float av = a[i];
+        if (av == 0.0f) continue;
+        float* c = C + i * n;
+        for (std::int64_t j = 0; j < n; ++j) c[j] += av * b[j];
+      }
+    }
+  }, /*grain=*/16);
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  const auto ad = a.dim();
+  const auto bd = b.dim();
+  if ((ad != 2 && ad != 3) || (bd != 2 && bd != 3) || bd > ad) {
+    throw std::invalid_argument(
+        log::format("matmul: unsupported ranks %s x %s",
+                    shape_str(a.shape()).c_str(), shape_str(b.shape()).c_str()));
+  }
+  const std::int64_t batch = ad == 3 ? a.size(0) : 1;
+  const std::int64_t m = a.size(ad - 2);
+  const std::int64_t k = a.size(ad - 1);
+  const std::int64_t n = b.size(bd - 1);
+  if (b.size(bd - 2) != k || (bd == 3 && b.size(0) != batch)) {
+    throw std::invalid_argument(
+        log::format("matmul: shape mismatch %s x %s",
+                    shape_str(a.shape()).c_str(), shape_str(b.shape()).c_str()));
+  }
+  Shape out_shape = ad == 3 ? Shape{batch, m, n} : Shape{m, n};
+  const bool b_batched = (bd == 3);
+
+  Tensor out = Tensor::make_result(
+      out_shape, {a, b},
+      [a, b, batch, m, k, n, b_batched](detail::TensorImpl& o) {
+        auto ai = a.impl();
+        auto bi = b.impl();
+        const float* go = o.grad.data();
+        if (ai->requires_grad) {
+          ai->ensure_grad();
+          for (std::int64_t bt = 0; bt < batch; ++bt) {
+            gemm_nt(go + bt * m * n,
+                    bi->data.data() + (b_batched ? bt * k * n : 0),
+                    ai->grad.data() + bt * m * k, m, n, k);
+          }
+        }
+        if (bi->requires_grad) {
+          bi->ensure_grad();
+          for (std::int64_t bt = 0; bt < batch; ++bt) {
+            gemm_tn(ai->data.data() + bt * m * k, go + bt * m * n,
+                    bi->grad.data() + (b_batched ? bt * k * n : 0), k, m, n);
+          }
+        }
+      });
+  for (std::int64_t bt = 0; bt < batch; ++bt) {
+    gemm_nn(a.data() + bt * m * k, b.data() + (b_batched ? bt * k * n : 0),
+            out.data() + bt * m * n, m, k, n);
+  }
+  return out;
+}
+
+}  // namespace mfa::ops

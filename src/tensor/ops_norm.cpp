@@ -1,0 +1,194 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace mfa::ops {
+
+Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                    Tensor& running_mean, Tensor& running_var, bool training,
+                    float momentum, float eps) {
+  if (x.dim() != 4) throw std::invalid_argument("batch_norm2d: x must be NCHW");
+  const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  const std::int64_t M = N * H * W;  // reduction size per channel
+
+  // Per-channel statistics used for this pass.
+  auto mean = std::make_shared<std::vector<float>>(static_cast<size_t>(C));
+  auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(C));
+  const float* xv = x.data();
+  if (training) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      double acc = 0.0;
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* plane = xv + (n * C + c) * H * W;
+        for (std::int64_t i = 0; i < H * W; ++i) acc += plane[i];
+      }
+      const double mu = acc / static_cast<double>(M);
+      double var = 0.0;
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* plane = xv + (n * C + c) * H * W;
+        for (std::int64_t i = 0; i < H * W; ++i) {
+          const double d = plane[i] - mu;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(M);
+      (*mean)[static_cast<size_t>(c)] = static_cast<float>(mu);
+      (*inv_std)[static_cast<size_t>(c)] =
+          static_cast<float>(1.0 / std::sqrt(var + eps));
+      // Update running stats (not part of the tape).
+      running_mean.data()[c] =
+          (1.0f - momentum) * running_mean.data()[c] + momentum * static_cast<float>(mu);
+      running_var.data()[c] =
+          (1.0f - momentum) * running_var.data()[c] + momentum * static_cast<float>(var);
+    }
+  } else {
+    for (std::int64_t c = 0; c < C; ++c) {
+      (*mean)[static_cast<size_t>(c)] = running_mean.data()[c];
+      (*inv_std)[static_cast<size_t>(c)] =
+          1.0f / std::sqrt(running_var.data()[c] + eps);
+    }
+  }
+
+  Tensor out = Tensor::make_result(
+      x.shape(), {x, gamma, beta},
+      [x, gamma, beta, mean, inv_std, N, C, H, W, M,
+       training](detail::TensorImpl& o) {
+        auto xi = x.impl();
+        auto gi = gamma.impl();
+        auto bi = beta.impl();
+        const float* go = o.grad.data();
+        const float* xvv = xi->data.data();
+        if (gi->requires_grad) gi->ensure_grad();
+        if (bi->requires_grad) bi->ensure_grad();
+        if (xi->requires_grad) xi->ensure_grad();
+        for (std::int64_t c = 0; c < C; ++c) {
+          const float mu = (*mean)[static_cast<size_t>(c)];
+          const float istd = (*inv_std)[static_cast<size_t>(c)];
+          const float gam = gi->data[static_cast<size_t>(c)];
+          // Channel-wise sums over the batch.
+          double sum_g = 0.0, sum_gx = 0.0;
+          for (std::int64_t n = 0; n < N; ++n) {
+            const float* gp = go + (n * C + c) * H * W;
+            const float* xp = xvv + (n * C + c) * H * W;
+            for (std::int64_t i = 0; i < H * W; ++i) {
+              sum_g += gp[i];
+              sum_gx += static_cast<double>(gp[i]) * (xp[i] - mu) * istd;
+            }
+          }
+          if (gi->requires_grad)
+            gi->grad[static_cast<size_t>(c)] += static_cast<float>(sum_gx);
+          if (bi->requires_grad)
+            bi->grad[static_cast<size_t>(c)] += static_cast<float>(sum_g);
+          if (!xi->requires_grad) continue;
+          const float mean_g = static_cast<float>(sum_g / M);
+          const float mean_gx = static_cast<float>(sum_gx / M);
+          for (std::int64_t n = 0; n < N; ++n) {
+            const float* gp = go + (n * C + c) * H * W;
+            const float* xp = xvv + (n * C + c) * H * W;
+            float* dxp = xi->grad.data() + (n * C + c) * H * W;
+            for (std::int64_t i = 0; i < H * W; ++i) {
+              const float xhat = (xp[i] - mu) * istd;
+              if (training) {
+                dxp[i] += gam * istd * (gp[i] - mean_g - xhat * mean_gx);
+              } else {
+                dxp[i] += gam * istd * gp[i];
+              }
+            }
+          }
+        }
+      });
+
+  float* ov = out.data();
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float mu = (*mean)[static_cast<size_t>(c)];
+      const float istd = (*inv_std)[static_cast<size_t>(c)];
+      const float gam = gamma.data()[c];
+      const float bet = beta.data()[c];
+      const float* xp = xv + (n * C + c) * H * W;
+      float* op = ov + (n * C + c) * H * W;
+      for (std::int64_t i = 0; i < H * W; ++i)
+        op[i] = (xp[i] - mu) * istd * gam + bet;
+    }
+  return out;
+}
+
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  float eps) {
+  const auto nd = x.dim();
+  const std::int64_t D = x.size(nd - 1);
+  const std::int64_t rows = x.numel() / D;
+  if (gamma.numel() != D || beta.numel() != D)
+    throw std::invalid_argument("layer_norm: gamma/beta must match last dim");
+
+  auto mean = std::make_shared<std::vector<float>>(static_cast<size_t>(rows));
+  auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(rows));
+  const float* xv = x.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = xv + r * D;
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < D; ++i) acc += row[i];
+    const double mu = acc / static_cast<double>(D);
+    double var = 0.0;
+    for (std::int64_t i = 0; i < D; ++i) {
+      const double d = row[i] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(D);
+    (*mean)[static_cast<size_t>(r)] = static_cast<float>(mu);
+    (*inv_std)[static_cast<size_t>(r)] =
+        static_cast<float>(1.0 / std::sqrt(var + eps));
+  }
+
+  Tensor out = Tensor::make_result(
+      x.shape(), {x, gamma, beta},
+      [x, gamma, beta, mean, inv_std, rows, D](detail::TensorImpl& o) {
+        auto xi = x.impl();
+        auto gi = gamma.impl();
+        auto bi = beta.impl();
+        const float* go = o.grad.data();
+        const float* xvv = xi->data.data();
+        if (gi->requires_grad) gi->ensure_grad();
+        if (bi->requires_grad) bi->ensure_grad();
+        if (xi->requires_grad) xi->ensure_grad();
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const float mu = (*mean)[static_cast<size_t>(r)];
+          const float istd = (*inv_std)[static_cast<size_t>(r)];
+          const float* grow = go + r * D;
+          const float* xrow = xvv + r * D;
+          double sum_dg = 0.0, sum_dgx = 0.0;
+          for (std::int64_t i = 0; i < D; ++i) {
+            const float xhat = (xrow[i] - mu) * istd;
+            const float dg = grow[i] * gi->data[static_cast<size_t>(i)];
+            sum_dg += dg;
+            sum_dgx += static_cast<double>(dg) * xhat;
+            if (gi->requires_grad)
+              gi->grad[static_cast<size_t>(i)] += grow[i] * xhat;
+            if (bi->requires_grad) bi->grad[static_cast<size_t>(i)] += grow[i];
+          }
+          if (!xi->requires_grad) continue;
+          const float mean_dg = static_cast<float>(sum_dg / D);
+          const float mean_dgx = static_cast<float>(sum_dgx / D);
+          float* dxrow = xi->grad.data() + r * D;
+          for (std::int64_t i = 0; i < D; ++i) {
+            const float xhat = (xrow[i] - mu) * istd;
+            const float dg = grow[i] * gi->data[static_cast<size_t>(i)];
+            dxrow[i] += istd * (dg - mean_dg - xhat * mean_dgx);
+          }
+        }
+      });
+
+  float* ov = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float mu = (*mean)[static_cast<size_t>(r)];
+    const float istd = (*inv_std)[static_cast<size_t>(r)];
+    const float* xrow = xv + r * D;
+    float* orow = ov + r * D;
+    for (std::int64_t i = 0; i < D; ++i)
+      orow[i] = (xrow[i] - mu) * istd * gamma.data()[i] + beta.data()[i];
+  }
+  return out;
+}
+
+}  // namespace mfa::ops

@@ -1,0 +1,201 @@
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "tensor/ops.h"
+
+namespace mfa::ops {
+namespace {
+
+std::vector<std::int64_t> contiguous_strides(const Shape& s) {
+  std::vector<std::int64_t> st(s.size(), 1);
+  for (auto d = static_cast<std::int64_t>(s.size()) - 2; d >= 0; --d)
+    st[static_cast<size_t>(d)] =
+        st[static_cast<size_t>(d) + 1] * s[static_cast<size_t>(d) + 1];
+  return st;
+}
+
+}  // namespace
+
+Tensor reshape(const Tensor& a, Shape new_shape) {
+  // One entry may be -1 (inferred).
+  std::int64_t known = 1;
+  std::int64_t infer = -1;
+  for (size_t d = 0; d < new_shape.size(); ++d) {
+    if (new_shape[d] == -1) {
+      if (infer >= 0) throw std::invalid_argument("reshape: two -1 dims");
+      infer = static_cast<std::int64_t>(d);
+    } else {
+      known *= new_shape[d];
+    }
+  }
+  if (infer >= 0) new_shape[static_cast<size_t>(infer)] = a.numel() / known;
+  if (shape_numel(new_shape) != a.numel()) {
+    throw std::invalid_argument(
+        log::format("reshape: %s -> %s element mismatch",
+                    shape_str(a.shape()).c_str(),
+                    shape_str(new_shape).c_str()));
+  }
+  Tensor out = Tensor::make_result(
+      new_shape, {a}, [a](detail::TensorImpl& o) {
+        auto ai = a.impl();
+        if (!ai->requires_grad) return;
+        ai->ensure_grad();
+        const auto n = static_cast<std::int64_t>(o.data.size());
+        const float* go = o.grad.data();
+        float* ga = ai->grad.data();
+        for (std::int64_t i = 0; i < n; ++i) ga[i] += go[i];
+      });
+  std::copy(a.data(), a.data() + a.numel(), out.data());
+  return out;
+}
+
+Tensor permute(const Tensor& a, const std::vector<std::int64_t>& dims) {
+  const auto nd = a.dim();
+  if (static_cast<std::int64_t>(dims.size()) != nd)
+    throw std::invalid_argument("permute: rank mismatch");
+  Shape out_shape(static_cast<size_t>(nd));
+  for (std::int64_t d = 0; d < nd; ++d)
+    out_shape[static_cast<size_t>(d)] = a.size(dims[static_cast<size_t>(d)]);
+  const auto in_strides = contiguous_strides(a.shape());
+  // src stride for each output dim.
+  std::vector<std::int64_t> src_stride(static_cast<size_t>(nd));
+  for (std::int64_t d = 0; d < nd; ++d)
+    src_stride[static_cast<size_t>(d)] =
+        in_strides[static_cast<size_t>(dims[static_cast<size_t>(d)])];
+
+  // Walks the output in order, producing the source offset odometer-style.
+  auto walk = [out_shape, src_stride, nd](auto&& f) {
+    std::vector<std::int64_t> idx(static_cast<size_t>(nd), 0);
+    std::int64_t src = 0;
+    const std::int64_t n = shape_numel(out_shape);
+    for (std::int64_t i = 0; i < n; ++i) {
+      f(i, src);
+      for (std::int64_t d = nd - 1; d >= 0; --d) {
+        const auto du = static_cast<size_t>(d);
+        ++idx[du];
+        src += src_stride[du];
+        if (idx[du] < out_shape[du]) break;
+        src -= src_stride[du] * out_shape[du];
+        idx[du] = 0;
+      }
+    }
+  };
+
+  Tensor out = Tensor::make_result(
+      out_shape, {a}, [a, walk](detail::TensorImpl& o) {
+        auto ai = a.impl();
+        if (!ai->requires_grad) return;
+        ai->ensure_grad();
+        const float* go = o.grad.data();
+        float* ga = ai->grad.data();
+        walk([&](std::int64_t i, std::int64_t src) { ga[src] += go[i]; });
+      });
+  const float* av = a.data();
+  float* ov = out.data();
+  walk([&](std::int64_t i, std::int64_t src) { ov[i] = av[src]; });
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  const auto nd = a.dim();
+  if (nd < 2) throw std::invalid_argument("transpose2d: rank < 2");
+  std::vector<std::int64_t> dims(static_cast<size_t>(nd));
+  std::iota(dims.begin(), dims.end(), 0);
+  std::swap(dims[static_cast<size_t>(nd - 1)], dims[static_cast<size_t>(nd - 2)]);
+  return permute(a, dims);
+}
+
+Tensor concat(const std::vector<Tensor>& parts, std::int64_t dim) {
+  if (parts.empty()) throw std::invalid_argument("concat: no inputs");
+  const auto nd = parts[0].dim();
+  if (dim < 0) dim += nd;
+  Shape out_shape = parts[0].shape();
+  out_shape[static_cast<size_t>(dim)] = 0;
+  for (const auto& p : parts) {
+    if (p.dim() != nd) throw std::invalid_argument("concat: rank mismatch");
+    for (std::int64_t d = 0; d < nd; ++d) {
+      if (d != dim && p.size(d) != parts[0].size(d))
+        throw std::invalid_argument("concat: shape mismatch off-dim");
+    }
+    out_shape[static_cast<size_t>(dim)] += p.size(dim);
+  }
+  // outer = product of dims before `dim`; inner = product after.
+  std::int64_t outer = 1, inner = 1;
+  for (std::int64_t d = 0; d < dim; ++d) outer *= out_shape[static_cast<size_t>(d)];
+  for (std::int64_t d = dim + 1; d < nd; ++d)
+    inner *= out_shape[static_cast<size_t>(d)];
+  const std::int64_t out_dim = out_shape[static_cast<size_t>(dim)];
+
+  Tensor out = Tensor::make_result(
+      out_shape, parts,
+      [parts, outer, inner, out_dim, dim](detail::TensorImpl& o) {
+        const float* go = o.grad.data();
+        std::int64_t off = 0;
+        for (const auto& p : parts) {
+          auto pi = p.impl();
+          const std::int64_t pd = p.size(dim);
+          if (pi->requires_grad) {
+            pi->ensure_grad();
+            float* gp = pi->grad.data();
+            for (std::int64_t r = 0; r < outer; ++r) {
+              const float* src = go + (r * out_dim + off) * inner;
+              float* dst = gp + r * pd * inner;
+              for (std::int64_t k = 0; k < pd * inner; ++k) dst[k] += src[k];
+            }
+          }
+          off += pd;
+        }
+      });
+  float* ov = out.data();
+  std::int64_t off = 0;
+  for (const auto& p : parts) {
+    const std::int64_t pd = p.size(dim);
+    const float* pv = p.data();
+    for (std::int64_t r = 0; r < outer; ++r) {
+      std::copy(pv + r * pd * inner, pv + (r + 1) * pd * inner,
+                ov + (r * out_dim + off) * inner);
+    }
+    off += pd;
+  }
+  return out;
+}
+
+Tensor narrow(const Tensor& a, std::int64_t dim, std::int64_t start,
+              std::int64_t len) {
+  const auto nd = a.dim();
+  if (dim < 0) dim += nd;
+  if (start < 0 || len <= 0 || start + len > a.size(dim))
+    throw std::out_of_range("narrow: slice out of range");
+  Shape out_shape = a.shape();
+  out_shape[static_cast<size_t>(dim)] = len;
+  std::int64_t outer = 1, inner = 1;
+  for (std::int64_t d = 0; d < dim; ++d) outer *= a.size(d);
+  for (std::int64_t d = dim + 1; d < nd; ++d) inner *= a.size(d);
+  const std::int64_t in_dim = a.size(dim);
+
+  Tensor out = Tensor::make_result(
+      out_shape, {a},
+      [a, outer, inner, in_dim, start, len](detail::TensorImpl& o) {
+        auto ai = a.impl();
+        if (!ai->requires_grad) return;
+        ai->ensure_grad();
+        const float* go = o.grad.data();
+        float* ga = ai->grad.data();
+        for (std::int64_t r = 0; r < outer; ++r) {
+          float* dst = ga + (r * in_dim + start) * inner;
+          const float* src = go + r * len * inner;
+          for (std::int64_t k = 0; k < len * inner; ++k) dst[k] += src[k];
+        }
+      });
+  const float* av = a.data();
+  float* ov = out.data();
+  for (std::int64_t r = 0; r < outer; ++r) {
+    std::copy(av + (r * in_dim + start) * inner,
+              av + (r * in_dim + start + len) * inner, ov + r * len * inner);
+  }
+  return out;
+}
+
+}  // namespace mfa::ops

@@ -1,0 +1,246 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/log.h"
+
+namespace mfa {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool GradMode::enabled() { return g_grad_enabled; }
+void GradMode::set_enabled(bool on) { g_grad_enabled = on; }
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const auto d : shape) n *= d;
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::string s = "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(shape[i]);
+  }
+  return s + "]";
+}
+
+Tensor Tensor::wrap(std::shared_ptr<detail::TensorImpl> impl) {
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::zeros(Shape shape, bool requires_grad) {
+  return full(std::move(shape), 0.0f, requires_grad);
+}
+
+Tensor Tensor::ones(Shape shape, bool requires_grad) {
+  return full(std::move(shape), 1.0f, requires_grad);
+}
+
+Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
+  auto impl = std::make_shared<detail::TensorImpl>();
+  const auto n = shape_numel(shape);
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<size_t>(n), value);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::from_data(Shape shape, std::vector<float> data,
+                         bool requires_grad) {
+  if (shape_numel(shape) != static_cast<std::int64_t>(data.size())) {
+    throw std::invalid_argument(
+        log::format("from_data: shape %s wants %lld elements, got %zu",
+                    shape_str(shape).c_str(),
+                    static_cast<long long>(shape_numel(shape)), data.size()));
+  }
+  auto impl = std::make_shared<detail::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::scalar(float value, bool requires_grad) {
+  return full({1}, value, requires_grad);
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev, bool requires_grad) {
+  Tensor t = zeros(std::move(shape), requires_grad);
+  for (auto& v : t.impl_->data)
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi,
+                       bool requires_grad) {
+  Tensor t = zeros(std::move(shape), requires_grad);
+  for (auto& v : t.impl_->data) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+const Shape& Tensor::shape() const {
+  if (!impl_) throw std::logic_error("shape() on undefined tensor");
+  return impl_->shape;
+}
+
+std::int64_t Tensor::dim() const {
+  return static_cast<std::int64_t>(shape().size());
+}
+
+std::int64_t Tensor::size(std::int64_t d) const {
+  const auto nd = dim();
+  if (d < 0) d += nd;
+  if (d < 0 || d >= nd) {
+    throw std::out_of_range(log::format("size(%lld) on %s",
+                                        static_cast<long long>(d),
+                                        shape_str(shape()).c_str()));
+  }
+  return impl_->shape[static_cast<size_t>(d)];
+}
+
+std::int64_t Tensor::numel() const {
+  return impl_ ? static_cast<std::int64_t>(impl_->data.size()) : 0;
+}
+
+float* Tensor::data() { return impl_->data.data(); }
+const float* Tensor::data() const { return impl_->data.data(); }
+
+float Tensor::item() const {
+  if (numel() != 1) {
+    throw std::logic_error(
+        log::format("item() on tensor of %lld elements",
+                    static_cast<long long>(numel())));
+  }
+  return impl_->data[0];
+}
+
+namespace {
+size_t flat_index(const Shape& shape, std::initializer_list<std::int64_t> idx) {
+  if (idx.size() != shape.size())
+    throw std::out_of_range("index rank mismatch");
+  size_t flat = 0;
+  size_t d = 0;
+  for (const auto i : idx) {
+    if (i < 0 || i >= shape[d]) throw std::out_of_range("index out of range");
+    flat = flat * static_cast<size_t>(shape[d]) + static_cast<size_t>(i);
+    ++d;
+  }
+  return flat;
+}
+}  // namespace
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return impl_->data[flat_index(impl_->shape, idx)];
+}
+
+void Tensor::set(std::initializer_list<std::int64_t> idx, float v) {
+  impl_->data[flat_index(impl_->shape, idx)] = v;
+}
+
+std::vector<float> Tensor::to_vector() const { return impl_->data; }
+
+bool Tensor::requires_grad() const { return impl_ && impl_->requires_grad; }
+
+Tensor& Tensor::set_requires_grad(bool on) {
+  impl_->requires_grad = on;
+  return *this;
+}
+
+Tensor Tensor::grad() const {
+  Tensor g = zeros(impl_->shape);
+  if (impl_->grad.size() == impl_->data.size()) g.impl_->data = impl_->grad;
+  return g;
+}
+
+void Tensor::zero_grad() {
+  if (!impl_) return;
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+void Tensor::backward() {
+  if (numel() != 1)
+    throw std::logic_error("backward() requires a scalar root");
+  // Topological sort (iterative post-order DFS) over the captured graph.
+  std::vector<detail::TensorImpl*> order;
+  std::unordered_set<detail::TensorImpl*> visited;
+  struct Frame {
+    detail::TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      detail::TensorImpl* p = f.node->parents[f.next_parent++].get();
+      if (visited.insert(p).second) stack.push_back({p, 0});
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  impl_->ensure_grad();
+  impl_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+Tensor Tensor::detach() const {
+  auto impl = std::make_shared<detail::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::clone() const { return detach(); }
+
+void Tensor::add_(const Tensor& other, float alpha) {
+  if (numel() != other.numel())
+    throw std::invalid_argument("add_: size mismatch");
+  const float* src = other.data();
+  float* dst = data();
+  const auto n = numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void Tensor::mul_(float s) {
+  for (auto& v : impl_->data) v *= s;
+}
+
+void Tensor::fill_(float v) {
+  std::fill(impl_->data.begin(), impl_->data.end(), v);
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  if (numel() != src.numel())
+    throw std::invalid_argument("copy_from: size mismatch");
+  impl_->data = src.impl_->data;
+}
+
+Tensor Tensor::make_result(Shape shape, std::vector<Tensor> inputs,
+                           std::function<void(detail::TensorImpl&)> backward) {
+  Tensor out = zeros(std::move(shape));
+  if (!GradMode::enabled() || !backward) return out;
+  bool needs = false;
+  for (const auto& in : inputs) needs = needs || in.requires_grad();
+  if (!needs) return out;
+  out.impl_->requires_grad = true;
+  out.impl_->parents.reserve(inputs.size());
+  for (const auto& in : inputs)
+    if (in.defined()) out.impl_->parents.push_back(in.impl());
+  detail::TensorImpl* raw = out.impl_.get();  // owned by the closure's owner
+  out.impl_->backward_fn = [raw, fn = std::move(backward)]() { fn(*raw); };
+  return out;
+}
+
+}  // namespace mfa

@@ -1,0 +1,134 @@
+#include "train/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "features/features.h"
+#include "place/legalizer.h"
+#include "place/placer.h"
+#include "route/router.h"
+
+namespace mfa::train {
+
+Tensor rotate90(const Tensor& t, std::int64_t k) {
+  k = ((k % 4) + 4) % 4;
+  if (k == 0) return t.clone();
+  const bool has_channels = t.dim() == 3;
+  const std::int64_t C = has_channels ? t.size(0) : 1;
+  const std::int64_t H = t.size(has_channels ? 1 : 0);
+  const std::int64_t W = t.size(has_channels ? 2 : 1);
+  if (H != W && k % 2 == 1)
+    throw std::invalid_argument("rotate90: odd rotations need square maps");
+  const std::int64_t OH = (k % 2 == 0) ? H : W;
+  const std::int64_t OW = (k % 2 == 0) ? W : H;
+  Tensor out = has_channels ? Tensor::zeros({C, OH, OW})
+                            : Tensor::zeros({OH, OW});
+  const float* src = t.data();
+  float* dst = out.data();
+  for (std::int64_t c = 0; c < C; ++c)
+    for (std::int64_t y = 0; y < H; ++y)
+      for (std::int64_t x = 0; x < W; ++x) {
+        std::int64_t ny = 0, nx = 0;
+        switch (k) {
+          case 1:  // 90 CCW: (y, x) -> (W-1-x, y)
+            ny = W - 1 - x;
+            nx = y;
+            break;
+          case 2:  // 180
+            ny = H - 1 - y;
+            nx = W - 1 - x;
+            break;
+          default:  // 270 CCW
+            ny = x;
+            nx = H - 1 - y;
+            break;
+        }
+        dst[(c * OH + ny) * OW + nx] = src[(c * H + y) * W + x];
+      }
+  return out;
+}
+
+std::vector<Sample> DatasetBuilder::build_for_design(
+    const netlist::DesignSpec& spec, const fpga::DeviceGrid& device,
+    const DatasetOptions& options) {
+  Rng rng(options.seed ^ Rng::hash(spec.name));
+  const netlist::Design design =
+      netlist::DesignGenerator::generate(spec, device);
+
+  std::vector<Sample> samples;
+  for (std::int64_t run = 0; run < options.placements_per_design; ++run) {
+    // Parameter sweep (§V-A): vary seed, density weighting, step and noise.
+    // A draw that produces an unroutable placement (label map saturated at
+    // the top level almost everywhere) is rejected and redrawn — the
+    // contest placements all come from flows that at least route.
+    Tensor feats, label;
+    for (std::int64_t attempt = 0; attempt < 6; ++attempt) {
+      place::PlacementProblem problem(design, device);
+      place::PlacerOptions popt;
+      popt.seed = rng.next_u64();
+      popt.density_weight = rng.uniform(0.3, 0.8);
+      popt.step = rng.uniform(0.5, 1.1);
+      popt.noise = rng.uniform(0.01, 0.06);
+      popt.spread_interval = rng.uniform_int(2, 6);
+      popt.max_iterations = options.placer_iterations;
+      place::GlobalPlacer placer(problem, popt);
+      placer.init_random();
+      placer.iterate(options.placer_iterations);
+      place::Placement placement = placer.placement();
+      place::Legalizer::legalize_macros(problem, placement);
+
+      std::vector<double> cell_x, cell_y;
+      placement.expand(problem, cell_x, cell_y);
+
+      features::FeatureOptions fopt;
+      fopt.grid_width = options.grid;
+      fopt.grid_height = options.grid;
+      feats = features::extract_features(design, device, cell_x, cell_y,
+                                         fopt);
+
+      const route::RouterOptions ropt =
+          route::calibrated_router_options(device, options.grid, options.grid);
+      route::GlobalRouter router(design, device, ropt);
+      router.initial_route(cell_x, cell_y);
+      const auto analysis = router.analyze();
+      label = Tensor::zeros({options.grid, options.grid});
+      std::int64_t saturated = 0;
+      for (std::int64_t i = 0; i < options.grid * options.grid; ++i) {
+        label.data()[i] =
+            std::min(analysis.label[static_cast<size_t>(i)],
+                     static_cast<float>(options.num_classes - 1));
+        saturated += (label.data()[i] >=
+                      static_cast<float>(options.num_classes - 1));
+      }
+      if (saturated * 2 < options.grid * options.grid) break;  // accept
+    }
+
+    samples.push_back({feats, label});
+    if (options.augment_rotations) {
+      for (std::int64_t k = 1; k <= 3; ++k)
+        samples.push_back({rotate90(feats, k), rotate90(label, k)});
+    }
+  }
+  return samples;
+}
+
+void DatasetBuilder::split(const std::vector<Sample>& all,
+                           std::int64_t holdout_every,
+                           std::vector<Sample>& train,
+                           std::vector<Sample>& eval) {
+  train.clear();
+  eval.clear();
+  // Samples arrive grouped: 4 rotated copies of each placement (or 1 when
+  // augmentation is off). Hold out whole placements so rotated copies of an
+  // eval placement never appear in training.
+  for (size_t i = 0; i < all.size(); ++i) {
+    const auto placement_id = static_cast<std::int64_t>(i) / 4;
+    if (holdout_every > 0 && placement_id % holdout_every == holdout_every - 1)
+      eval.push_back(all[i]);
+    else
+      train.push_back(all[i]);
+  }
+}
+
+}  // namespace mfa::train

@@ -1,0 +1,53 @@
+// Dataset generation (paper §V-A): for each benchmark, the macro-placement
+// flow is run with varying parameters to produce distinct placements; each
+// placement yields the six §III-B feature maps (input) and the routed
+// congestion-level map (label), augmented by 90/180/270-degree rotations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/device.h"
+#include "netlist/generator.h"
+#include "tensor/tensor.h"
+
+namespace mfa::train {
+
+struct Sample {
+  Tensor features;  // [6, H, W]
+  Tensor label;     // [H, W] integral congestion levels as floats
+};
+
+struct DatasetOptions {
+  std::int64_t grid = 64;
+  /// Placements generated per design with varied placer parameters
+  /// (paper: 30; library default is smaller for CPU budgets).
+  std::int64_t placements_per_design = 6;
+  /// Add the three rotated copies of every sample (x4 total, §V-A).
+  bool augment_rotations = true;
+  /// Global-placement iterations per placement run. Varying effort levels
+  /// below this cap are part of the parameter sweep.
+  std::int64_t placer_iterations = 120;
+  /// Congestion levels are clamped to [0, num_classes - 1].
+  std::int64_t num_classes = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Rotates a [C, H, W] (or [H, W]) tensor by k*90 degrees counter-clockwise.
+Tensor rotate90(const Tensor& t, std::int64_t k);
+
+class DatasetBuilder {
+ public:
+  /// Generates the full sample set for one design (placement sweep plus
+  /// rotation augmentation). Deterministic in (spec.seed, options.seed).
+  static std::vector<Sample> build_for_design(const netlist::DesignSpec& spec,
+                                              const fpga::DeviceGrid& device,
+                                              const DatasetOptions& options);
+
+  /// Deterministic train/eval split: every `holdout_every`-th sample goes to
+  /// eval (rotated copies follow their source placement to avoid leakage).
+  static void split(const std::vector<Sample>& all, std::int64_t holdout_every,
+                    std::vector<Sample>& train, std::vector<Sample>& eval);
+};
+
+}  // namespace mfa::train

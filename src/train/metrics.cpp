@@ -1,0 +1,59 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mfa::train::metrics {
+
+namespace {
+void check_sizes(const Tensor& predicted, const Tensor& label) {
+  if (predicted.numel() != label.numel() || predicted.numel() == 0)
+    throw std::invalid_argument("metrics: size mismatch or empty input");
+}
+}  // namespace
+
+double accuracy(const Tensor& predicted, const Tensor& label) {
+  check_sizes(predicted, label);
+  const auto n = predicted.numel();
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i)
+    correct += (std::lround(predicted.data()[i]) == std::lround(label.data()[i]));
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double r_squared(const Tensor& predicted, const Tensor& label) {
+  check_sizes(predicted, label);
+  const auto n = predicted.numel();
+  double mean = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) mean += label.data()[i];
+  mean /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double r = static_cast<double>(label.data()[i]) - predicted.data()[i];
+    const double t = static_cast<double>(label.data()[i]) - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double nrms(const Tensor& predicted, const Tensor& label) {
+  check_sizes(predicted, label);
+  const auto n = predicted.numel();
+  double mse = 0.0;
+  float lo = label.data()[0], hi = label.data()[0];
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(predicted.data()[i]) - label.data()[i];
+    mse += d * d;
+    lo = std::min(lo, label.data()[i]);
+    hi = std::max(hi, label.data()[i]);
+  }
+  // Congestion levels are integers; a range below one level (e.g. a
+  // constant-label map) must not inflate the metric, so floor it at 1.
+  const double range = std::max(1.0, static_cast<double>(hi - lo));
+  return std::sqrt(mse / static_cast<double>(n)) / range;
+}
+
+}  // namespace mfa::train::metrics

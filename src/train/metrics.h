@@ -1,0 +1,23 @@
+// Evaluation metrics of §V-B: ACC, R^2 and NRMS over congestion-level maps.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mfa::train::metrics {
+
+/// Classification accuracy: fraction of tiles whose predicted level equals
+/// the ground-truth level. Both tensors hold integral levels as floats and
+/// must have identical element counts.
+double accuracy(const Tensor& predicted, const Tensor& label);
+
+/// Coefficient of determination of predicted levels against true levels:
+/// 1 - SS_res / SS_tot (can be negative for a bad predictor; 1 is perfect).
+double r_squared(const Tensor& predicted, const Tensor& label);
+
+/// Normalised root-mean-square error: RMSE divided by the label value range
+/// (max - min); 0 is perfect.
+double nrms(const Tensor& predicted, const Tensor& label);
+
+}  // namespace mfa::train::metrics

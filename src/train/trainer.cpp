@@ -1,0 +1,105 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+
+namespace mfa::train {
+
+void stack_batch(const std::vector<Sample>& samples,
+                 const std::vector<size_t>& order, size_t i0, size_t i1,
+                 Tensor& features, Tensor& labels) {
+  const auto b = static_cast<std::int64_t>(i1 - i0);
+  const auto& first = samples[order[i0]];
+  const std::int64_t C = first.features.size(0);
+  const std::int64_t H = first.features.size(1);
+  const std::int64_t W = first.features.size(2);
+  features = Tensor::zeros({b, C, H, W});
+  labels = Tensor::zeros({b, H, W});
+  for (size_t i = i0; i < i1; ++i) {
+    const auto& s = samples[order[i]];
+    std::copy(s.features.data(), s.features.data() + C * H * W,
+              features.data() + static_cast<std::int64_t>(i - i0) * C * H * W);
+    std::copy(s.label.data(), s.label.data() + H * W,
+              labels.data() + static_cast<std::int64_t>(i - i0) * H * W);
+  }
+}
+
+double Trainer::fit(models::CongestionModel& model,
+                    const std::vector<Sample>& train_set,
+                    const TrainOptions& options) {
+  if (train_set.empty()) return 0.0;
+  auto& net = model.network();
+  net.train(true);
+  nn::Adam optimizer(net.parameters(), options.learning_rate);
+  Rng rng(options.seed);
+
+  std::vector<size_t> order(train_set.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+
+  double epoch_loss = 0.0;
+  for (std::int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    // Deterministic shuffle.
+    for (auto i = static_cast<std::int64_t>(order.size()) - 1; i > 0; --i)
+      std::swap(order[static_cast<size_t>(i)],
+                order[static_cast<size_t>(rng.uniform_int(0, i))]);
+    epoch_loss = 0.0;
+    std::int64_t batches = 0;
+    for (size_t i0 = 0; i0 < order.size();
+         i0 += static_cast<size_t>(options.batch_size)) {
+      const size_t i1 = std::min(order.size(),
+                                 i0 + static_cast<size_t>(options.batch_size));
+      Tensor features, labels;
+      stack_batch(train_set, order, i0, i1, features, labels);
+      optimizer.zero_grad();
+      Tensor logits = model.forward(features);
+      Tensor loss = ops::cross_entropy(logits, labels);
+      loss.backward();
+      optimizer.step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    epoch_loss /= std::max<std::int64_t>(1, batches);
+    if (options.verbose)
+      log::info("%s epoch %lld/%lld loss %.4f", model.name(),
+                static_cast<long long>(epoch + 1),
+                static_cast<long long>(options.epochs), epoch_loss);
+  }
+  return epoch_loss;
+}
+
+EvalResult Trainer::evaluate(models::CongestionModel& model,
+                             const std::vector<Sample>& eval_set) {
+  EvalResult result;
+  if (eval_set.empty()) return result;
+  // Concatenate predictions/labels over the whole set, then compute metrics
+  // once (matches per-design averaging in Table I).
+  const std::int64_t H = eval_set[0].label.size(0);
+  const std::int64_t W = eval_set[0].label.size(1);
+  const auto n = static_cast<std::int64_t>(eval_set.size());
+  Tensor all_pred = Tensor::zeros({n, H, W});
+  Tensor all_label = Tensor::zeros({n, H, W});
+  std::vector<size_t> order(eval_set.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  const std::int64_t batch = 8;
+  for (std::int64_t i0 = 0; i0 < n; i0 += batch) {
+    const auto i1 = std::min(n, i0 + batch);
+    Tensor features, labels;
+    stack_batch(eval_set, order, static_cast<size_t>(i0),
+                static_cast<size_t>(i1), features, labels);
+    Tensor pred = model.predict_levels(features);
+    std::copy(pred.data(), pred.data() + (i1 - i0) * H * W,
+              all_pred.data() + i0 * H * W);
+    std::copy(labels.data(), labels.data() + (i1 - i0) * H * W,
+              all_label.data() + i0 * H * W);
+  }
+  result.acc = metrics::accuracy(all_pred, all_label);
+  result.r2 = metrics::r_squared(all_pred, all_label);
+  result.nrms = metrics::nrms(all_pred, all_label);
+  return result;
+}
+
+}  // namespace mfa::train

@@ -1,0 +1,46 @@
+// Training loop for congestion models: Adam at lr 1e-3 (paper §V-A),
+// per-tile cross-entropy over the congestion-level classes (§III-D).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "models/congestion_model.h"
+#include "train/dataset.h"
+#include "train/metrics.h"
+
+namespace mfa::train {
+
+struct TrainOptions {
+  std::int64_t epochs = 4;
+  std::int64_t batch_size = 4;
+  float learning_rate = 1e-3f;  // paper: Adam, lr 0.001
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct EvalResult {
+  double acc = 0.0;
+  double r2 = 0.0;
+  double nrms = 0.0;
+};
+
+class Trainer {
+ public:
+  /// Trains the model in place; returns the mean loss of the final epoch.
+  static double fit(models::CongestionModel& model,
+                    const std::vector<Sample>& train_set,
+                    const TrainOptions& options);
+
+  /// Computes ACC / R^2 / NRMS of the model over a sample set.
+  static EvalResult evaluate(models::CongestionModel& model,
+                             const std::vector<Sample>& eval_set);
+};
+
+/// Stacks samples [i0, i1) into batched feature [B,6,H,W] and label [B,H,W]
+/// tensors (exposed for tests).
+void stack_batch(const std::vector<Sample>& samples,
+                 const std::vector<size_t>& order, size_t i0, size_t i1,
+                 Tensor& features, Tensor& labels);
+
+}  // namespace mfa::train

@@ -1,0 +1,91 @@
+#include "nn/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "models/congestion_model.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+
+namespace mfa::nn {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return std::string("/tmp/mfa_ckpt_") + tag + ".bin";
+}
+
+TEST(Checkpoint, RoundTripsLinear) {
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  Linear b(4, 3, rng);  // different init (rng advanced)
+  const auto path = temp_path("linear");
+  save_checkpoint(a, path);
+  load_checkpoint(b, path);
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(pa[i].to_vector(), pb[i].to_vector());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RoundTripsFullModelAndPredictions) {
+  models::ModelConfig config;
+  config.grid = 32;
+  config.base_channels = 4;
+  config.transformer_layers = 1;
+  config.seed = 3;
+  auto a = models::make_model("ours", config);
+  config.seed = 99;  // fresh weights
+  auto b = models::make_model("ours", config);
+
+  Rng rng(5);
+  Tensor x = Tensor::uniform({1, 6, 32, 32}, rng, 0.0f, 1.0f);
+  const auto path = temp_path("model");
+  save_checkpoint(a->network(), path);
+  load_checkpoint(b->network(), path);
+  // Identical predictions after the load.
+  EXPECT_EQ(a->predict_levels(x).to_vector(),
+            b->predict_levels(x).to_vector());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsArchitectureMismatch) {
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  Linear wrong(4, 5, rng);
+  const auto path = temp_path("mismatch");
+  save_checkpoint(a, path);
+  EXPECT_THROW(load_checkpoint(wrong, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMissingFileAndBadMagic) {
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  EXPECT_THROW(load_checkpoint(a, "/tmp/mfa_ckpt_nonexistent.bin"),
+               std::runtime_error);
+  const auto path = temp_path("garbage");
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_checkpoint(a, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsWrongParameterCount) {
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  Linear no_bias(4, 3, rng, /*bias=*/false);
+  const auto path = temp_path("count");
+  save_checkpoint(a, path);
+  EXPECT_THROW(load_checkpoint(no_bias, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mfa::nn

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "features/features.h"
+#include "netlist/generator.h"
+
+namespace mfa::features {
+namespace {
+
+using fpga::DeviceGrid;
+using fpga::Resource;
+using netlist::Design;
+
+DeviceGrid test_device() { return DeviceGrid::make_xcvu3p_like(60, 40); }
+
+/// Minimal hand-built design: 2 LUTs + 1 DSP macro, one net over all three.
+Design hand_design() {
+  Design design;
+  design.cells.resize(3);
+  design.cells[0].resource = Resource::Lut;
+  design.cells[1].resource = Resource::Lut;
+  design.cells[2].resource = Resource::Dsp;
+  netlist::Net net;
+  net.pins = {0, 1, 2};
+  design.nets.push_back(net);
+  return design;
+}
+
+TEST(Features, OutputShapeAndChannelCount) {
+  const auto device = test_device();
+  const auto design = hand_design();
+  const std::vector<double> cx = {1.0, 30.0, 59.0};
+  const std::vector<double> cy = {1.0, 20.0, 39.0};
+  FeatureOptions options;
+  options.grid_width = 32;
+  options.grid_height = 16;
+  const Tensor f = extract_features(design, device, cx, cy, options);
+  EXPECT_EQ(f.shape(), (Shape{kNumChannels, 16, 32}));
+}
+
+TEST(Features, MacroMapMarksOnlyMacros) {
+  const auto device = test_device();
+  const auto design = hand_design();
+  const std::vector<double> cx = {1.0, 1.0, 59.0};
+  const std::vector<double> cy = {1.0, 1.0, 39.0};
+  FeatureOptions options;
+  options.normalize = false;
+  const Tensor f = extract_features(design, device, cx, cy, options);
+  // DSP at (59, 39) -> grid (62..63, 62..63) region; LUTs at low corner.
+  float macro_sum = 0.0f, cell_sum = 0.0f;
+  for (std::int64_t i = 0; i < 64 * 64; ++i) {
+    macro_sum += f.data()[kMacro * 64 * 64 + i];
+    cell_sum += f.data()[kCellDensity * 64 * 64 + i];
+  }
+  EXPECT_FLOAT_EQ(macro_sum, 1.0f);
+  EXPECT_FLOAT_EQ(cell_sum, 2.0f);
+}
+
+TEST(Features, RudyIsSuperpositionOfHAndV) {
+  const auto device = test_device();
+  const auto design =
+      netlist::DesignGenerator::generate(netlist::mlcad2023_spec("Design_136"),
+                                         device);
+  std::vector<double> cx(static_cast<size_t>(design.num_cells()));
+  std::vector<double> cy(cx.size());
+  Rng rng(7);
+  for (auto& v : cx) v = rng.uniform(0.0, 60.0);
+  for (auto& v : cy) v = rng.uniform(0.0, 40.0);
+  FeatureOptions options;
+  options.normalize = false;
+  const Tensor f = extract_features(design, device, cx, cy, options);
+  const std::int64_t hw = options.grid_height * options.grid_width;
+  for (std::int64_t i = 0; i < hw; ++i)
+    EXPECT_NEAR(f.data()[kRudy * hw + i],
+                f.data()[kHorizNetDensity * hw + i] +
+                    f.data()[kVertNetDensity * hw + i],
+                1e-4f);
+}
+
+TEST(Features, AllMapsNonNegative) {
+  const auto device = test_device();
+  const auto design =
+      netlist::DesignGenerator::generate(netlist::mlcad2023_spec("Design_190"),
+                                         device);
+  std::vector<double> cx(static_cast<size_t>(design.num_cells()), 0.0);
+  std::vector<double> cy(cx.size(), 0.0);
+  Rng rng(9);
+  for (auto& v : cx) v = rng.uniform(0.0, 60.0);
+  for (auto& v : cy) v = rng.uniform(0.0, 40.0);
+  const Tensor f = extract_features(design, device, cx, cy);
+  for (std::int64_t i = 0; i < f.numel(); ++i)
+    EXPECT_GE(f.data()[i], 0.0f);
+}
+
+TEST(Features, NormalizationBoundsChannelsToUnit) {
+  const auto device = test_device();
+  const auto design =
+      netlist::DesignGenerator::generate(netlist::mlcad2023_spec("Design_227"),
+                                         device);
+  std::vector<double> cx(static_cast<size_t>(design.num_cells()), 0.0);
+  std::vector<double> cy(cx.size(), 0.0);
+  Rng rng(11);
+  for (auto& v : cx) v = rng.uniform(0.0, 60.0);
+  for (auto& v : cy) v = rng.uniform(0.0, 40.0);
+  const Tensor f = extract_features(design, device, cx, cy);
+  float mx = 0.0f;
+  for (std::int64_t i = 0; i < f.numel(); ++i)
+    mx = std::max(mx, f.data()[i]);
+  EXPECT_LE(mx, 1.0f + 1e-6f);
+  EXPECT_GT(mx, 0.99f);  // at least one channel hits its max
+}
+
+TEST(Features, HotspotShowsUpInRudy) {
+  const auto device = test_device();
+  const auto design =
+      netlist::DesignGenerator::generate(netlist::mlcad2023_spec("Design_116"),
+                                         device);
+  std::vector<double> cx(static_cast<size_t>(design.num_cells()));
+  std::vector<double> cy(cx.size());
+  Rng rng(13);
+  // Everything in a small square -> RUDY mass concentrated there.
+  for (auto& v : cx) v = rng.uniform(10.0, 20.0);
+  for (auto& v : cy) v = rng.uniform(10.0, 20.0);
+  FeatureOptions options;
+  options.normalize = false;
+  const Tensor f = extract_features(design, device, cx, cy, options);
+  const std::int64_t hw = 64 * 64;
+  double inside = 0.0, outside = 0.0;
+  for (std::int64_t gy = 0; gy < 64; ++gy)
+    for (std::int64_t gx = 0; gx < 64; ++gx) {
+      const double v = f.data()[kRudy * hw + gy * 64 + gx];
+      // Device (10..20, 10..20) -> grid x in [10,22), y in [16,32).
+      if (gx >= 10 && gx < 22 && gy >= 16 && gy < 32)
+        inside += v;
+      else
+        outside += v;
+    }
+  EXPECT_GT(inside, outside);
+}
+
+TEST(Features, CoordinateSizeMismatchThrows) {
+  const auto device = test_device();
+  const auto design = hand_design();
+  const std::vector<double> cx = {1.0, 2.0};  // one short
+  const std::vector<double> cy = {1.0, 2.0, 3.0};
+  EXPECT_THROW(extract_features(design, device, cx, cy),
+               std::invalid_argument);
+}
+
+TEST(Features, ChannelNamesAreStable) {
+  EXPECT_STREQ(channel_name(kMacro), "macro");
+  EXPECT_STREQ(channel_name(kRudy), "rudy");
+  EXPECT_STREQ(channel_name(kPinRudy), "pin_rudy");
+  EXPECT_STREQ(channel_name(kCellDensity), "cell_density");
+}
+
+}  // namespace
+}  // namespace mfa::features

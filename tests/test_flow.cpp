@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "flow/flow.h"
+#include "netlist/generator.h"
+
+namespace mfa::flow {
+namespace {
+
+using fpga::DeviceGrid;
+using netlist::Design;
+
+DeviceGrid test_device() { return DeviceGrid::make_xcvu3p_like(60, 40); }
+
+Design small_design(const DeviceGrid& device) {
+  netlist::DesignSpec spec = netlist::mlcad2023_spec("Design_116");
+  spec.lut_util = 0.3;
+  spec.ff_util = 0.15;
+  spec.dsp_util = 0.6;
+  spec.bram_util = 0.6;
+  spec.uram_util = 0.3;
+  return netlist::DesignGenerator::generate(spec, device);
+}
+
+FlowOptions fast_options() {
+  FlowOptions options;
+  options.placer.max_iterations = 60;
+  options.inflation_rounds = 1;
+  options.post_inflation_iterations = 15;
+  return options;
+}
+
+TEST(Strategies, NamesRoundTrip) {
+  EXPECT_EQ(strategy_from_name("utda"), Strategy::Utda);
+  EXPECT_EQ(strategy_from_name("SEU"), Strategy::Seu);
+  EXPECT_EQ(strategy_from_name("mpku"), Strategy::MpkuImprove);
+  EXPECT_EQ(strategy_from_name("ours"), Strategy::Ours);
+  EXPECT_THROW(strategy_from_name("vivado"), std::invalid_argument);
+  EXPECT_STREQ(to_string(Strategy::Utda), "UTDA");
+  EXPECT_STREQ(to_string(Strategy::MpkuImprove), "MPKU-Improve");
+}
+
+TEST(Strategies, QuantileLevelsMonotoneInDemand) {
+  std::vector<float> demand(1000);
+  for (size_t i = 0; i < demand.size(); ++i)
+    demand[i] = static_cast<float>(i);
+  const auto levels = quantile_levels(demand);
+  for (size_t i = 1; i < levels.size(); ++i)
+    EXPECT_GE(levels[i], levels[i - 1]);
+  EXPECT_EQ(levels.front(), 0.0f);
+  EXPECT_EQ(levels.back(), 6.0f);
+}
+
+TEST(Strategies, QuantileLevelsFractionBounded) {
+  std::vector<float> demand(4096);
+  Rng rng(1);
+  for (auto& v : demand) v = static_cast<float>(rng.uniform());
+  const auto levels = quantile_levels(demand);
+  std::int64_t above3 = 0;
+  for (const auto l : levels) above3 += (l > 3.0f);
+  // Inflation targets (level > 3) are ~7% of tiles by construction.
+  EXPECT_GT(above3, 4096 * 0.03);
+  EXPECT_LT(above3, 4096 * 0.12);
+}
+
+TEST(Strategies, AnalyticLevelsForOursThrows) {
+  Tensor features = Tensor::zeros({6, 8, 8});
+  EXPECT_THROW(analytic_levels(Strategy::Ours, features), std::logic_error);
+}
+
+TEST(Strategies, SeuDiffersFromUtdaWhenPinsDiverge) {
+  Rng rng(2);
+  Tensor features = Tensor::uniform({6, 16, 16}, rng, 0.0f, 1.0f);
+  const auto utda = analytic_levels(Strategy::Utda, features);
+  const auto seu = analytic_levels(Strategy::Seu, features);
+  EXPECT_NE(utda, seu);
+}
+
+TEST(Flow, AnalyticStrategiesProduceScores) {
+  const auto device = test_device();
+  const auto design = small_design(device);
+  RoutabilityDrivenPlacer flow(design, device, fast_options());
+  const FlowResult result = flow.run(Strategy::Utda);
+  EXPECT_GE(result.s_ir, 1.0);
+  EXPECT_GE(result.s_dr, 5.0);
+  EXPECT_DOUBLE_EQ(result.s_r, result.s_ir * result.s_dr);
+  EXPECT_GT(result.s_score, 0.0);
+  EXPECT_GT(result.t_pr_hours, 0.0);
+  EXPECT_GT(result.routed_wirelength, 0.0);
+  EXPECT_LT(result.t_macro_minutes, 10.0);  // no Eq. 3 runtime penalty
+}
+
+TEST(Flow, OursRequiresModel) {
+  const auto device = test_device();
+  const auto design = small_design(device);
+  RoutabilityDrivenPlacer flow(design, device, fast_options());
+  EXPECT_THROW(flow.run(Strategy::Ours, nullptr), std::invalid_argument);
+}
+
+TEST(Flow, OursRunsWithUntrainedModel) {
+  const auto device = test_device();
+  const auto design = small_design(device);
+  RoutabilityDrivenPlacer flow(design, device, fast_options());
+  models::ModelConfig config;
+  config.grid = 64;
+  config.base_channels = 4;
+  config.transformer_layers = 1;
+  auto model = models::make_model("ours", config);
+  const FlowResult result = flow.run(Strategy::Ours, model.get());
+  EXPECT_GE(result.s_r, 5.0);
+}
+
+TEST(Flow, InflationTargetsCongestion) {
+  // With inflation enabled the flow must actually inflate something on a
+  // congested design (quantile strategies always mark ~7% of tiles).
+  const auto device = test_device();
+  const auto design = small_design(device);
+  RoutabilityDrivenPlacer flow(design, device, fast_options());
+  const FlowResult result = flow.run(Strategy::Seu);
+  EXPECT_GT(result.inflated_objects, 0);
+}
+
+TEST(Flow, DeterministicForFixedOptions) {
+  const auto device = test_device();
+  const auto design = small_design(device);
+  RoutabilityDrivenPlacer flow(design, device, fast_options());
+  const FlowResult a = flow.run(Strategy::Utda);
+  const FlowResult b = flow.run(Strategy::Utda);
+  EXPECT_DOUBLE_EQ(a.s_r, b.s_r);
+  EXPECT_DOUBLE_EQ(a.routed_wirelength, b.routed_wirelength);
+}
+
+TEST(Flow, SeedChangesPlacement) {
+  const auto device = test_device();
+  const auto design = small_design(device);
+  FlowOptions options = fast_options();
+  RoutabilityDrivenPlacer flow_a(design, device, options);
+  options.placer.seed = 999;
+  RoutabilityDrivenPlacer flow_b(design, device, options);
+  const FlowResult a = flow_a.run(Strategy::Utda);
+  const FlowResult b = flow_b.run(Strategy::Utda);
+  EXPECT_NE(a.routed_wirelength, b.routed_wirelength);
+}
+
+}  // namespace
+}  // namespace mfa::flow

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "fpga/device.h"
+#include "fpga/tile_grid.h"
+
+namespace mfa::fpga {
+namespace {
+
+TEST(Device, ColumnPatternCoversAllTypes) {
+  const DeviceGrid dev = DeviceGrid::make_xcvu3p_like();
+  EXPECT_GT(dev.columns_of(SiteType::Clb).size(), 0u);
+  EXPECT_GT(dev.columns_of(SiteType::Dsp).size(), 0u);
+  EXPECT_GT(dev.columns_of(SiteType::Bram).size(), 0u);
+  EXPECT_GT(dev.columns_of(SiteType::Uram).size(), 0u);
+  // CLB columns dominate, as on the real fabric.
+  EXPECT_GT(dev.columns_of(SiteType::Clb).size(),
+            dev.columns_of(SiteType::Dsp).size() * 4);
+}
+
+TEST(Device, ColumnsArePure) {
+  const DeviceGrid dev = DeviceGrid::make_xcvu3p_like(40, 20);
+  for (std::int64_t c = 0; c < dev.cols(); ++c)
+    for (std::int64_t r = 0; r < dev.rows(); ++r)
+      EXPECT_EQ(dev.site_type(c, r), dev.column_type(c));
+}
+
+TEST(Device, SiteCountsConsistent) {
+  const DeviceGrid dev = DeviceGrid::make_xcvu3p_like(60, 40);
+  std::int64_t total = 0;
+  for (std::size_t t = 0; t < kNumSiteTypes; ++t)
+    total += dev.site_count(static_cast<SiteType>(t));
+  EXPECT_EQ(total, dev.cols() * dev.rows());
+}
+
+TEST(Device, ResourceCapacityMatchesClbRatios) {
+  const DeviceGrid dev = DeviceGrid::make_xcvu3p_like(60, 40);
+  // FF capacity is exactly twice LUT capacity (8 LUT / 16 FF per CLB).
+  EXPECT_EQ(dev.resource_capacity(Resource::Ff),
+            2 * dev.resource_capacity(Resource::Lut));
+  EXPECT_EQ(dev.resource_capacity(Resource::Dsp),
+            dev.site_count(SiteType::Dsp));
+  EXPECT_EQ(dev.resource_capacity(Resource::Bram),
+            dev.site_count(SiteType::Bram));
+}
+
+TEST(Device, RejectsBadDimensions) {
+  EXPECT_THROW(DeviceGrid(0, 10), std::invalid_argument);
+  EXPECT_THROW(DeviceGrid(10, -1), std::invalid_argument);
+}
+
+TEST(Device, OutOfBoundsSiteThrows) {
+  const DeviceGrid dev = DeviceGrid::make_xcvu3p_like(10, 10);
+  EXPECT_THROW(dev.site_type(10, 0), std::out_of_range);
+  EXPECT_THROW(dev.site_type(0, -1), std::out_of_range);
+}
+
+TEST(Device, SiteCapacityTable) {
+  EXPECT_EQ(site_capacity(SiteType::Clb, Resource::Lut), 8);
+  EXPECT_EQ(site_capacity(SiteType::Clb, Resource::Ff), 16);
+  EXPECT_EQ(site_capacity(SiteType::Clb, Resource::Dsp), 0);
+  EXPECT_EQ(site_capacity(SiteType::Dsp, Resource::Dsp), 1);
+  EXPECT_EQ(site_capacity(SiteType::Bram, Resource::Bram), 1);
+  EXPECT_EQ(site_capacity(SiteType::Uram, Resource::Uram), 1);
+  EXPECT_EQ(site_capacity(SiteType::Dsp, Resource::Lut), 0);
+}
+
+TEST(Device, MacroResourceClassification) {
+  EXPECT_FALSE(is_macro_resource(Resource::Lut));
+  EXPECT_FALSE(is_macro_resource(Resource::Ff));
+  EXPECT_TRUE(is_macro_resource(Resource::Dsp));
+  EXPECT_TRUE(is_macro_resource(Resource::Bram));
+  EXPECT_TRUE(is_macro_resource(Resource::Uram));
+}
+
+TEST(TileGrid, CoordinateMappingClampsAndScales) {
+  const InterconnectTileGrid tiles(64, 64, 120, 80);
+  EXPECT_EQ(tiles.tile_x(0.0), 0);
+  EXPECT_EQ(tiles.tile_x(119.9), 63);
+  EXPECT_EQ(tiles.tile_x(1e9), 63);
+  EXPECT_EQ(tiles.tile_x(-5.0), 0);
+  EXPECT_EQ(tiles.tile_y(40.0), 32);
+}
+
+TEST(TileGrid, CapacitiesByClass) {
+  const InterconnectTileGrid tiles(8, 8, 16, 16, 20, 10);
+  EXPECT_EQ(tiles.capacity(WireClass::Short), 20);
+  EXPECT_EQ(tiles.capacity(WireClass::Global), 10);
+  EXPECT_EQ(tiles.num_tiles(), 64);
+}
+
+TEST(TileGrid, RejectsBadDimensions) {
+  EXPECT_THROW(InterconnectTileGrid(0, 8, 16, 16), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfa::fpga

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/design.h"
+#include "netlist/generator.h"
+
+namespace mfa::netlist {
+namespace {
+
+using fpga::DeviceGrid;
+using fpga::Resource;
+
+DeviceGrid test_device() { return DeviceGrid::make_xcvu3p_like(60, 40); }
+
+TEST(Generator, SuiteContainsAllPaperDesigns) {
+  const auto suite = mlcad2023_suite();
+  EXPECT_EQ(suite.size(), 11u);  // Tables I and II union
+  std::set<std::string> names;
+  for (const auto& s : suite) names.insert(s.name);
+  for (const char* n :
+       {"Design_116", "Design_120", "Design_136", "Design_156", "Design_176",
+        "Design_180", "Design_190", "Design_197", "Design_227", "Design_230",
+        "Design_237"})
+    EXPECT_TRUE(names.count(n)) << n;
+}
+
+TEST(Generator, SpecLookupThrowsOnUnknown) {
+  EXPECT_NO_THROW(mlcad2023_spec("Design_116"));
+  EXPECT_THROW(mlcad2023_spec("Design_999"), std::invalid_argument);
+}
+
+TEST(Generator, UtilisationsTrackTableOne) {
+  // Design_116: 370K/394K LUT, 315K/788K FF, 2052/2280 DSP, 648/720 BRAM.
+  const auto spec = mlcad2023_spec("Design_116");
+  EXPECT_NEAR(spec.lut_util, 0.939, 0.01);
+  EXPECT_NEAR(spec.ff_util, 0.400, 0.01);
+  EXPECT_NEAR(spec.dsp_util, 0.900, 0.01);
+  EXPECT_NEAR(spec.bram_util, 0.900, 0.01);
+}
+
+TEST(Generator, GeneratedCountsMatchSpec) {
+  const auto device = test_device();
+  const auto spec = mlcad2023_spec("Design_116");
+  const Design design = DesignGenerator::generate(spec, device);
+  EXPECT_NEAR(static_cast<double>(design.count(Resource::Lut)),
+              spec.lut_util * static_cast<double>(
+                                  device.resource_capacity(Resource::Lut)),
+              2.0);
+  EXPECT_NEAR(static_cast<double>(design.count(Resource::Dsp)),
+              spec.dsp_util * static_cast<double>(
+                                  device.resource_capacity(Resource::Dsp)),
+              2.0);
+  // Demand never exceeds capacity (the generator targets utilisation < 1).
+  for (std::size_t r = 0; r < fpga::kNumResources; ++r) {
+    const auto res = static_cast<Resource>(r);
+    EXPECT_LE(design.count(res), device.resource_capacity(res));
+  }
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const auto device = test_device();
+  const auto spec = mlcad2023_spec("Design_120");
+  const Design a = DesignGenerator::generate(spec, device);
+  const Design b = DesignGenerator::generate(spec, device);
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  for (std::int64_t i = 0; i < a.num_nets(); ++i)
+    EXPECT_EQ(a.nets[static_cast<size_t>(i)].pins,
+              b.nets[static_cast<size_t>(i)].pins);
+}
+
+TEST(Generator, DifferentDesignsDiffer) {
+  const auto device = test_device();
+  const Design a =
+      DesignGenerator::generate(mlcad2023_spec("Design_116"), device);
+  const Design b =
+      DesignGenerator::generate(mlcad2023_spec("Design_180"), device);
+  EXPECT_NE(a.num_nets(), b.num_nets());
+}
+
+TEST(Generator, CascadesAreHomogeneousAndLinked) {
+  const auto device = test_device();
+  const Design design =
+      DesignGenerator::generate(mlcad2023_spec("Design_136"), device);
+  EXPECT_GT(design.cascades.size(), 0u);
+  for (std::size_t si = 0; si < design.cascades.size(); ++si) {
+    const auto& shape = design.cascades[si];
+    EXPECT_GE(shape.macros.size(), 2u);
+    const auto res = design.cells[static_cast<size_t>(shape.macros[0])].resource;
+    EXPECT_TRUE(fpga::is_macro_resource(res));
+    for (const auto id : shape.macros) {
+      EXPECT_EQ(design.cells[static_cast<size_t>(id)].resource, res);
+      EXPECT_EQ(design.cells[static_cast<size_t>(id)].cascade,
+                static_cast<std::int32_t>(si));
+    }
+  }
+}
+
+TEST(Generator, CascadeFractionRoughlyRespected) {
+  const auto device = test_device();
+  const auto spec = mlcad2023_spec("Design_156");
+  const Design design = DesignGenerator::generate(spec, device);
+  std::int64_t in_cascade = 0, macros = 0;
+  for (const auto& c : design.cells) {
+    if (!c.is_macro()) continue;
+    ++macros;
+    in_cascade += (c.cascade >= 0);
+  }
+  const double frac = static_cast<double>(in_cascade) /
+                      static_cast<double>(macros);
+  EXPECT_GT(frac, spec.cascade_fraction - 0.2);
+  EXPECT_LT(frac, spec.cascade_fraction + 0.2);
+}
+
+TEST(Generator, RegionsExistAndValidate) {
+  const auto device = test_device();
+  const Design design =
+      DesignGenerator::generate(mlcad2023_spec("Design_176"), device);
+  EXPECT_GT(design.regions.size(), 0u);
+  std::int64_t assigned = 0;
+  for (const auto& c : design.cells) assigned += (c.region >= 0);
+  EXPECT_GT(assigned, 0);
+  EXPECT_NO_THROW(design.validate(device));
+}
+
+TEST(Generator, NetsHaveAtLeastTwoPins) {
+  const auto device = test_device();
+  const Design design =
+      DesignGenerator::generate(mlcad2023_spec("Design_190"), device);
+  for (const auto& net : design.nets) EXPECT_GE(net.pins.size(), 2u);
+  // Average degree in a plausible LUT-netlist range.
+  const double avg = static_cast<double>(design.num_pins()) /
+                     static_cast<double>(design.num_nets());
+  EXPECT_GT(avg, 2.0);
+  EXPECT_LT(avg, 6.0);
+}
+
+TEST(DesignValidate, CatchesBrokenStructures) {
+  const auto device = test_device();
+  Design design;
+  design.cells.resize(4);
+  Net net;
+  net.pins = {0, 9};  // missing cell
+  design.nets.push_back(net);
+  EXPECT_THROW(design.validate(device), std::runtime_error);
+
+  design.nets[0].pins = {0, 1};
+  EXPECT_NO_THROW(design.validate(device));
+
+  CascadeShape bad;
+  bad.macros = {0};  // LUT cascade is illegal
+  design.cells[0].cascade = 0;
+  design.cascades.push_back(bad);
+  EXPECT_THROW(design.validate(device), std::runtime_error);
+}
+
+TEST(DesignValidate, CatchesOffDeviceRegion) {
+  const auto device = test_device();
+  Design design;
+  design.cells.resize(2);
+  Net net;
+  net.pins = {0, 1};
+  design.nets.push_back(net);
+  RegionConstraint region;
+  region.col_lo = 0;
+  region.row_lo = 0;
+  region.col_hi = device.cols();  // one past the edge
+  region.row_hi = 2;
+  design.regions.push_back(region);
+  EXPECT_THROW(design.validate(device), std::runtime_error);
+}
+
+TEST(Design, CountsAndStats) {
+  Design design;
+  design.cells.resize(5);
+  design.cells[0].resource = Resource::Lut;
+  design.cells[1].resource = Resource::Lut;
+  design.cells[2].resource = Resource::Dsp;
+  design.cells[3].resource = Resource::Bram;
+  design.cells[4].resource = Resource::Ff;
+  EXPECT_EQ(design.count(Resource::Lut), 2);
+  EXPECT_EQ(design.count(Resource::Dsp), 1);
+  EXPECT_EQ(design.num_macros(), 2);
+}
+
+}  // namespace
+}  // namespace mfa::netlist

@@ -1,0 +1,159 @@
+// Parameterised property sweeps across seeds, designs and option values
+// (TEST_P): invariants that must hold for every point of the sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/generator.h"
+#include "place/inflation.h"
+#include "place/legalizer.h"
+#include "place/placer.h"
+#include "route/router.h"
+#include "route/score.h"
+
+namespace mfa {
+namespace {
+
+fpga::DeviceGrid small_device() {
+  return fpga::DeviceGrid::make_xcvu3p_like(40, 32);
+}
+
+netlist::DesignSpec shrunk(const char* name) {
+  netlist::DesignSpec spec = netlist::mlcad2023_spec(name);
+  spec.lut_util *= 0.4;
+  spec.ff_util *= 0.4;
+  spec.dsp_util *= 0.6;
+  spec.bram_util *= 0.6;
+  return spec;
+}
+
+// ---- every suite design generates and validates ----
+
+class AllDesigns : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllDesigns, GeneratesAndValidates) {
+  const auto device = small_device();
+  const auto design = netlist::DesignGenerator::generate(
+      netlist::mlcad2023_spec(GetParam()), device);
+  EXPECT_NO_THROW(design.validate(device));
+  EXPECT_GT(design.num_cells(), 0);
+  EXPECT_GT(design.num_nets(), 0);
+  EXPECT_GT(design.num_macros(), 0);
+  // Utilisation within capacity for every resource.
+  for (std::size_t r = 0; r < fpga::kNumResources; ++r) {
+    const auto res = static_cast<fpga::Resource>(r);
+    EXPECT_LE(design.count(res), device.resource_capacity(res))
+        << fpga::to_string(res);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mlcad2023, AllDesigns,
+                         ::testing::Values("Design_116", "Design_120",
+                                           "Design_136", "Design_156",
+                                           "Design_176", "Design_180",
+                                           "Design_190", "Design_197",
+                                           "Design_227", "Design_230",
+                                           "Design_237"));
+
+// ---- placer invariants across seeds ----
+
+class PlacerSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlacerSeeds, LegalisesAndMeetsGate) {
+  const auto device = small_device();
+  const auto design =
+      netlist::DesignGenerator::generate(shrunk("Design_136"), device);
+  place::PlacementProblem problem(design, device);
+  place::PlacerOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam());
+  options.max_iterations = 200;
+  place::GlobalPlacer placer(problem, options);
+  placer.init_random();
+  EXPECT_TRUE(placer.run_until_overflow_target());
+  place::Placement placement = placer.placement();
+  EXPECT_TRUE(place::Legalizer::legalize_macros(problem, placement).success);
+  EXPECT_EQ(place::Legalizer::check_macros(problem, placement), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacerSeeds, ::testing::Values(1, 2, 3, 7, 42));
+
+// ---- inflation monotone in epsilon ----
+
+class InflationEpsilon : public ::testing::TestWithParam<double> {};
+
+TEST_P(InflationEpsilon, AreaMonotoneInEpsilon) {
+  const auto device = small_device();
+  const auto design =
+      netlist::DesignGenerator::generate(shrunk("Design_116"), device);
+  const auto area_for = [&](double eps) {
+    place::PlacementProblem problem(design, device);
+    place::Placement placement;
+    placement.x.assign(problem.objects.size(), 5.0);
+    placement.y.assign(problem.objects.size(), 5.0);
+    const std::vector<float> levels(32 * 32, 5.0f);
+    place::InflationOptions options;
+    options.epsilon = eps;
+    return place::apply_inflation(problem, placement, levels, 32, 32, options)
+        .area_added;
+  };
+  const double eps = GetParam();
+  EXPECT_LE(area_for(eps), area_for(eps + 0.5) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, InflationEpsilon,
+                         ::testing::Values(1.0, 1.3, 2.0, 4.0));
+
+// ---- S_IR non-increasing as router capacity grows ----
+
+class RouterCapacity : public ::testing::TestWithParam<int> {};
+
+TEST_P(RouterCapacity, SirNonIncreasingInCapacity) {
+  const auto device = small_device();
+  const auto design =
+      netlist::DesignGenerator::generate(shrunk("Design_190"), device);
+  place::PlacementProblem problem(design, device);
+  place::PlacerOptions popt;
+  popt.seed = 4;
+  place::GlobalPlacer placer(problem, popt);
+  placer.init_random();
+  placer.iterate(60);
+  std::vector<double> cx, cy;
+  placer.placement().expand(problem, cx, cy);
+
+  const auto s_ir_for = [&](std::int64_t cap) {
+    route::RouterOptions options;
+    options.grid_width = 32;
+    options.grid_height = 32;
+    options.short_capacity = cap;
+    options.global_capacity = cap;
+    route::GlobalRouter router(design, device, options);
+    router.initial_route(cx, cy);
+    return route::score::s_ir(router.analyze());
+  };
+  const int cap = GetParam();
+  EXPECT_GE(s_ir_for(cap), s_ir_for(cap * 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RouterCapacity,
+                         ::testing::Values(8, 16, 24, 40));
+
+// ---- calibrated capacities scale with tile width ----
+
+class CalibratedGrid : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalibratedGrid, CapacityInverselyProportionalToGrid) {
+  const auto device = fpga::DeviceGrid::make_xcvu3p_like(60, 40);
+  const auto grid = GetParam();
+  const auto options =
+      route::calibrated_router_options(device, grid, grid);
+  // capacity * grid is approximately constant (= 24 * 64 at calibration).
+  EXPECT_NEAR(static_cast<double>(options.short_capacity * grid),
+              24.0 * 64.0, static_cast<double>(grid));
+  EXPECT_GT(options.short_capacity, options.global_capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, CalibratedGrid,
+                         ::testing::Values(16, 32, 64, 128));
+
+}  // namespace
+}  // namespace mfa

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/dataset.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+namespace mfa::train {
+namespace {
+
+TEST(Metrics, PerfectPrediction) {
+  Tensor label = Tensor::from_data({2, 2}, {0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(metrics::accuracy(label, label), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::r_squared(label, label), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::nrms(label, label), 0.0);
+}
+
+TEST(Metrics, AccuracyCountsMatches) {
+  Tensor label = Tensor::from_data({4}, {0, 1, 2, 3});
+  Tensor pred = Tensor::from_data({4}, {0, 1, 0, 0});
+  EXPECT_DOUBLE_EQ(metrics::accuracy(pred, label), 0.5);
+}
+
+TEST(Metrics, RSquaredMeanPredictorIsZero) {
+  Tensor label = Tensor::from_data({4}, {0, 2, 4, 6});
+  Tensor pred = Tensor::from_data({4}, {3, 3, 3, 3});  // label mean
+  EXPECT_NEAR(metrics::r_squared(pred, label), 0.0, 1e-9);
+}
+
+TEST(Metrics, RSquaredCanBeNegative) {
+  Tensor label = Tensor::from_data({4}, {0, 2, 4, 6});
+  Tensor pred = Tensor::from_data({4}, {6, 4, 2, 0});  // anti-correlated
+  EXPECT_LT(metrics::r_squared(pred, label), 0.0);
+}
+
+TEST(Metrics, NrmsNormalisedByRange) {
+  Tensor label = Tensor::from_data({2}, {0, 4});
+  Tensor pred = Tensor::from_data({2}, {1, 3});  // RMSE = 1, range = 4
+  EXPECT_NEAR(metrics::nrms(pred, label), 0.25, 1e-6);
+}
+
+TEST(Metrics, RejectsMismatchedSizes) {
+  Tensor a = Tensor::zeros({3});
+  Tensor b = Tensor::zeros({4});
+  EXPECT_THROW(metrics::accuracy(a, b), std::invalid_argument);
+  EXPECT_THROW(metrics::r_squared(a, b), std::invalid_argument);
+  EXPECT_THROW(metrics::nrms(a, b), std::invalid_argument);
+}
+
+TEST(Rotation, FourRotationsAreIdentity) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({3, 8, 8}, rng);
+  Tensor r = rotate90(rotate90(rotate90(rotate90(t, 1), 1), 1), 1);
+  EXPECT_EQ(r.to_vector(), t.to_vector());
+}
+
+TEST(Rotation, Rotate90MovesCorner) {
+  Tensor t = Tensor::zeros({1, 4, 4});
+  t.set({0, 0, 3}, 1.0f);  // top-right
+  Tensor r = rotate90(t, 1);
+  // 90 CCW: top-right -> top-left.
+  EXPECT_EQ(r.at({0, 0, 0}), 1.0f);
+}
+
+TEST(Rotation, Rotate180IsDoubleApplication) {
+  Rng rng(2);
+  Tensor t = Tensor::randn({2, 6, 6}, rng);
+  EXPECT_EQ(rotate90(t, 2).to_vector(),
+            rotate90(rotate90(t, 1), 1).to_vector());
+}
+
+TEST(Rotation, HandlesLabelMapsWithoutChannels) {
+  Tensor t = Tensor::zeros({4, 4});
+  t.set({1, 2}, 5.0f);
+  Tensor r = rotate90(t, 2);
+  EXPECT_EQ(r.at({2, 1}), 5.0f);
+}
+
+TEST(Dataset, BuildsExpectedSampleCount) {
+  const auto device = fpga::DeviceGrid::make_xcvu3p_like(40, 32);
+  netlist::DesignSpec spec = netlist::mlcad2023_spec("Design_116");
+  spec.lut_util = 0.2;
+  spec.ff_util = 0.1;
+  DatasetOptions options;
+  options.placements_per_design = 2;
+  options.grid = 32;
+  options.placer_iterations = 30;
+  const auto samples =
+      DatasetBuilder::build_for_design(spec, device, options);
+  EXPECT_EQ(samples.size(), 8u);  // 2 placements x 4 rotations
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.features.shape(), (Shape{6, 32, 32}));
+    EXPECT_EQ(s.label.shape(), (Shape{32, 32}));
+    for (std::int64_t i = 0; i < s.label.numel(); ++i) {
+      EXPECT_GE(s.label.data()[i], 0.0f);
+      EXPECT_LE(s.label.data()[i], 7.0f);
+    }
+  }
+}
+
+TEST(Dataset, RotatedCopiesShareLevelHistogram) {
+  const auto device = fpga::DeviceGrid::make_xcvu3p_like(40, 32);
+  netlist::DesignSpec spec = netlist::mlcad2023_spec("Design_120");
+  spec.lut_util = 0.2;
+  spec.ff_util = 0.1;
+  DatasetOptions options;
+  options.placements_per_design = 1;
+  options.grid = 32;
+  options.placer_iterations = 30;
+  const auto samples =
+      DatasetBuilder::build_for_design(spec, device, options);
+  ASSERT_EQ(samples.size(), 4u);
+  auto histogram = [](const Tensor& t) {
+    std::array<std::int64_t, 8> h{};
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+      ++h[static_cast<size_t>(t.data()[i])];
+    return h;
+  };
+  const auto h0 = histogram(samples[0].label);
+  for (size_t k = 1; k < 4; ++k)
+    EXPECT_EQ(histogram(samples[k].label), h0);
+}
+
+TEST(Dataset, DeterministicPerSeed) {
+  const auto device = fpga::DeviceGrid::make_xcvu3p_like(40, 32);
+  netlist::DesignSpec spec = netlist::mlcad2023_spec("Design_136");
+  spec.lut_util = 0.15;
+  spec.ff_util = 0.08;
+  DatasetOptions options;
+  options.placements_per_design = 1;
+  options.grid = 32;
+  options.placer_iterations = 20;
+  const auto a = DatasetBuilder::build_for_design(spec, device, options);
+  const auto b = DatasetBuilder::build_for_design(spec, device, options);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].features.to_vector(), b[0].features.to_vector());
+  EXPECT_EQ(a[0].label.to_vector(), b[0].label.to_vector());
+}
+
+TEST(Dataset, SplitKeepsRotationGroupsTogether) {
+  std::vector<Sample> all(16);  // 4 placements x 4 rotations
+  for (size_t i = 0; i < all.size(); ++i) {
+    all[i].features = Tensor::full({1, 1, 1}, static_cast<float>(i / 4));
+    all[i].label = Tensor::full({1, 1}, static_cast<float>(i / 4));
+  }
+  std::vector<Sample> train, eval;
+  DatasetBuilder::split(all, 2, train, eval);
+  EXPECT_EQ(train.size(), 8u);
+  EXPECT_EQ(eval.size(), 8u);
+  // Every eval sample comes from placements 1 and 3 (odd groups).
+  for (const auto& s : eval) {
+    const float id = s.label.item();
+    EXPECT_TRUE(id == 1.0f || id == 3.0f);
+  }
+}
+
+TEST(Trainer, StackBatchLaysOutSamples) {
+  std::vector<Sample> samples(2);
+  samples[0].features = Tensor::full({1, 2, 2}, 1.0f);
+  samples[0].label = Tensor::full({2, 2}, 3.0f);
+  samples[1].features = Tensor::full({1, 2, 2}, 2.0f);
+  samples[1].label = Tensor::full({2, 2}, 5.0f);
+  Tensor features, labels;
+  stack_batch(samples, {0, 1}, 0, 2, features, labels);
+  EXPECT_EQ(features.shape(), (Shape{2, 1, 2, 2}));
+  EXPECT_EQ(labels.shape(), (Shape{2, 2, 2}));
+  EXPECT_EQ(features.at({0, 0, 0, 0}), 1.0f);
+  EXPECT_EQ(features.at({1, 0, 0, 0}), 2.0f);
+  EXPECT_EQ(labels.at({1, 1, 1}), 5.0f);
+}
+
+TEST(Trainer, FitReducesLossOnTinyProblem) {
+  models::ModelConfig config;
+  config.grid = 32;
+  config.base_channels = 4;
+  config.transformer_layers = 1;
+  // U-Net keeps a full-resolution path, so it can learn this per-pixel rule.
+  auto model = models::make_model("unet", config);
+
+  // Synthetic dataset: labels follow the RUDY channel thresholded.
+  Rng rng(3);
+  std::vector<Sample> samples;
+  for (int i = 0; i < 6; ++i) {
+    Sample s;
+    s.features = Tensor::uniform({6, 32, 32}, rng, 0.0f, 1.0f);
+    s.label = Tensor::zeros({32, 32});
+    const float* rudy = s.features.data() + 3 * 32 * 32;
+    for (std::int64_t j = 0; j < 32 * 32; ++j)
+      s.label.data()[j] = rudy[j] > 0.5f ? 2.0f : 0.0f;
+    samples.push_back(std::move(s));
+  }
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 2;
+  options.learning_rate = 5e-3f;
+  const double loss1 = Trainer::fit(*model, samples, options);
+  options.epochs = 40;
+  const double loss2 = Trainer::fit(*model, samples, options);
+  EXPECT_LT(loss2, loss1);
+
+  const auto result = Trainer::evaluate(*model, samples);
+  EXPECT_GT(result.acc, 0.6);
+}
+
+TEST(Trainer, EvaluateEmptySetReturnsZeros) {
+  models::ModelConfig config;
+  config.grid = 32;
+  config.base_channels = 4;
+  auto model = models::make_model("unet", config);
+  const auto result = Trainer::evaluate(*model, {});
+  EXPECT_EQ(result.acc, 0.0);
+}
+
+}  // namespace
+}  // namespace mfa::train
