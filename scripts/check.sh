@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# clang-tidy runner over the library sources, using the profile in .clang-tidy.
+#
+# Usage: scripts/check.sh [build-dir]
+#
+# Needs a configured build dir with compile_commands.json (the top-level
+# CMakeLists.txt exports it unconditionally). Exits 0 with a notice when
+# clang-tidy is not installed, so CI images without LLVM still pass.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "check.sh: clang-tidy not found on PATH; skipping static analysis." >&2
+  exit 0
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "check.sh: ${BUILD_DIR}/compile_commands.json missing." >&2
+  echo "          Configure first: cmake -B ${BUILD_DIR} -S ." >&2
+  exit 1
+fi
+
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+echo "check.sh: running clang-tidy on ${#sources[@]} files..."
+
+status=0
+for f in "${sources[@]}"; do
+  clang-tidy -p "${BUILD_DIR}" --quiet "$f" || status=1
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "check.sh: clang-tidy reported findings (see above)." >&2
+else
+  echo "check.sh: clean."
+fi
+exit $status

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI matrix: builds and tests the three supported configurations.
+#
+#   1. RelWithDebInfo          — the default developer build (DCHECKs off)
+#   2. Debug + ASan/UBSan      — memory and UB errors, DCHECKs on
+#   3. Debug + TSan            — data races in parallel_for call sites
+#
+# Each configuration gets its own build tree under build-ci/ so the matrix
+# never contaminates the developer's ./build. Also runs scripts/check.sh
+# (clang-tidy) against the first configuration when available.
+#
+# Usage: scripts/ci.sh [-jN]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:--j$(nproc)}"
+
+run_config() {
+  local name="$1" build_type="$2" sanitize="$3"
+  local dir="build-ci/${name}"
+  echo "=== [${name}] configure (type=${build_type} sanitize=${sanitize:-none}) ==="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE="${build_type}" \
+    -DMFA_SANITIZE="${sanitize}" >/dev/null
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" "${JOBS}"
+  echo "=== [${name}] test ==="
+  # halt_on_error: make TSan/ASan findings fail the run loudly.
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "${dir}" --output-on-failure "${JOBS}"
+}
+
+run_config release RelWithDebInfo ""
+run_config asan    Debug          address
+run_config tsan    Debug          thread
+
+echo "=== static analysis ==="
+scripts/check.sh build-ci/release
+
+echo "ci.sh: all configurations passed."

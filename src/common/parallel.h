@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -16,6 +18,12 @@ namespace mfa {
 
 /// Invokes fn(begin, end) over disjoint chunks covering [0, n).
 /// Runs inline when the range is small or hardware_concurrency is 1.
+///
+/// If a worker throws, the first exception (in completion order) is captured
+/// and rethrown in the caller after every thread has joined; later exceptions
+/// are swallowed. Without this, an exception escaping a worker thread would
+/// call std::terminate, turning any MFA_CHECK failure inside a parallel
+/// kernel into a process abort instead of a catchable CheckError.
 inline void parallel_for(std::int64_t n,
                          const std::function<void(std::int64_t, std::int64_t)>& fn,
                          std::int64_t grain = 1024) {
@@ -27,6 +35,8 @@ inline void parallel_for(std::int64_t n,
     fn(0, n);
     return;
   }
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(threads));
   const std::int64_t chunk = (n + threads - 1) / threads;
@@ -34,9 +44,17 @@ inline void parallel_for(std::int64_t n,
     const std::int64_t begin = t * chunk;
     const std::int64_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+    pool.emplace_back([&fn, &first_error, &error_mutex, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
   }
   for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace mfa

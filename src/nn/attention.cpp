@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace mfa::nn {
 
 using namespace mfa::ops;
@@ -17,6 +19,11 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::int64_t dim,
 }
 
 Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
+  MFA_CHECK(x.defined() && x.dim() == 3)
+      << " MSA expects a defined [N, L, D] input";
+  MFA_CHECK_EQ(x.size(2), dim_)
+      << " MSA: embedding dim of " << shape_str(x.shape())
+      << " does not match the layer";
   const std::int64_t N = x.size(0);
   const std::int64_t L = x.size(1);
   Tensor qkv = qkv_->forward(x);  // [N, L, 3D]

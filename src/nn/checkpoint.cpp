@@ -6,6 +6,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/log.h"
 
 namespace mfa::nn {
@@ -36,6 +37,9 @@ void save_checkpoint(const Module& module, const std::string& path) {
   out.write(kMagic, sizeof(kMagic));
   const auto params = module.parameters();
   const auto names = module.parameter_names();
+  MFA_CHECK_EQ(static_cast<std::int64_t>(params.size()),
+               static_cast<std::int64_t>(names.size()))
+      << " save_checkpoint: module reports inconsistent parameter lists";
   write_pod<std::uint64_t>(out, params.size());
   for (size_t i = 0; i < params.size(); ++i) {
     const auto& name = names[i];
@@ -71,13 +75,31 @@ void load_checkpoint(Module& module, const std::string& path) {
     throw std::runtime_error(log::format(
         "checkpoint: parameter count mismatch (file %llu vs module %zu)",
         static_cast<unsigned long long>(count), params.size()));
+  // Sanity caps: reject obviously corrupt headers before allocating.
+  constexpr std::uint32_t kMaxNameLen = 4096;
+  constexpr std::uint32_t kMaxRank = 16;
   for (std::uint64_t i = 0; i < count; ++i) {
     const auto name_len = read_pod<std::uint32_t>(in);
+    if (name_len == 0 || name_len > kMaxNameLen)
+      throw std::runtime_error(log::format(
+          "checkpoint: implausible name length %u", name_len));
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
+    if (!in.good())
+      throw std::runtime_error("checkpoint: truncated parameter name");
     const auto rank = read_pod<std::uint32_t>(in);
+    if (rank > kMaxRank)
+      throw std::runtime_error(
+          log::format("checkpoint: implausible rank %u for '%s'", rank,
+                      name.c_str()));
     Shape shape(rank);
-    for (auto& d : shape) d = read_pod<std::int64_t>(in);
+    for (auto& d : shape) {
+      d = read_pod<std::int64_t>(in);
+      if (d < 0)
+        throw std::runtime_error(
+            log::format("checkpoint: negative dim %lld for '%s'",
+                        static_cast<long long>(d), name.c_str()));
+    }
     const auto it = by_name.find(name);
     if (it == by_name.end())
       throw std::runtime_error("checkpoint: unknown parameter '" + name + "'");
@@ -87,10 +109,22 @@ void load_checkpoint(Module& module, const std::string& path) {
           log::format("checkpoint: shape mismatch for '%s' (file %s vs %s)",
                       name.c_str(), shape_str(shape).c_str(),
                       shape_str(target.shape()).c_str()));
+    // The shape matched the module's tensor, so the byte count it implies is
+    // exactly what the target holds; a short read means the file was cut off.
+    MFA_CHECK_EQ(shape_numel(shape), target.numel())
+        << " load_checkpoint: '" << name << "' byte count disagrees with "
+        << shape_str(target.shape());
     in.read(reinterpret_cast<char*>(target.data()),
             static_cast<std::streamsize>(target.numel() * sizeof(float)));
-    if (!in) throw std::runtime_error("checkpoint: truncated tensor data");
+    if (!in.good())
+      throw std::runtime_error("checkpoint: truncated tensor data for '" +
+                               name + "'");
   }
+  // Every parameter was consumed; any remaining byte is trailing garbage
+  // (e.g. a concatenated or corrupt file) and deserves a hard error.
+  if (in.peek() != std::ifstream::traits_type::eof())
+    throw std::runtime_error("checkpoint: trailing garbage after last tensor in " +
+                             path);
 }
 
 }  // namespace mfa::nn

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.h"
+
 namespace mfa::nn {
 
 Tensor kaiming_normal(Shape shape, std::int64_t fan_in, Rng& rng) {
@@ -26,6 +28,11 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
 }
 
 Tensor Conv2d::forward(const Tensor& x) {
+  MFA_CHECK(x.defined() && x.dim() == 4)
+      << " Conv2d expects a defined NCHW input";
+  MFA_CHECK_EQ(x.size(1), weight_.size(1))
+      << " Conv2d: input channels of " << shape_str(x.shape())
+      << " do not match weight " << shape_str(weight_.shape());
   return ops::conv2d(x, weight_, bias_, stride_, padding_);
 }
 
@@ -39,6 +46,11 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
 }
 
 Tensor Linear::forward(const Tensor& x) {
+  MFA_CHECK(x.defined() && x.dim() >= 1)
+      << " Linear expects a defined input of rank >= 1";
+  MFA_CHECK_EQ(x.size(-1), in_)
+      << " Linear: last dim of " << shape_str(x.shape())
+      << " does not match in_features";
   // Flatten leading dims to rows, multiply, restore shape.
   Shape out_shape = x.shape();
   out_shape.back() = out_;
@@ -57,6 +69,11 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
 }
 
 Tensor BatchNorm2d::forward(const Tensor& x) {
+  MFA_CHECK(x.defined() && x.dim() == 4)
+      << " BatchNorm2d expects a defined NCHW input";
+  MFA_CHECK_EQ(x.size(1), gamma_.numel())
+      << " BatchNorm2d: channels of " << shape_str(x.shape())
+      << " do not match the layer width";
   return ops::batch_norm2d(x, gamma_, beta_, running_mean_, running_var_,
                            is_training(), momentum_, eps_);
 }

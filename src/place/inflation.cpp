@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace mfa::place {
 
 InflationStats apply_inflation(PlacementProblem& problem,
@@ -11,8 +13,15 @@ InflationStats apply_inflation(PlacementProblem& problem,
                                const std::vector<float>& level_map,
                                std::int64_t gw, std::int64_t gh,
                                const InflationOptions& options) {
-  if (static_cast<std::int64_t>(level_map.size()) != gw * gh)
-    throw std::invalid_argument("apply_inflation: map size mismatch");
+  MFA_CHECK(gw > 0 && gh > 0) << " apply_inflation: empty level grid " << gw
+                              << "x" << gh;
+  MFA_CHECK_EQ(static_cast<std::int64_t>(level_map.size()), gw * gh)
+      << " apply_inflation: map size mismatch";
+  MFA_CHECK(placement.x.size() >= static_cast<size_t>(problem.num_objects()) &&
+            placement.y.size() >= static_cast<size_t>(problem.num_objects()))
+      << " apply_inflation: placement does not cover all objects";
+  MFA_CHECK(options.budget_fraction >= 0.0 && options.epsilon > 0.0)
+      << " apply_inflation: invalid options";
   const auto& device = problem.device();
   const double sx = static_cast<double>(gw) / static_cast<double>(device.cols());
   const double sy = static_cast<double>(gh) / static_cast<double>(device.rows());
@@ -34,6 +43,8 @@ InflationStats apply_inflation(PlacementProblem& problem,
         static_cast<std::int64_t>(placement.y[static_cast<size_t>(oi)] * sy),
         0, gh - 1);
     const double level = level_map[static_cast<size_t>(gy * gw + gx)];
+    MFA_DCHECK_FINITE(level) << " apply_inflation: level map at (" << gx
+                             << ", " << gy << ")";
     if (level <= options.level_threshold) continue;  // no S_IR penalty below 4
     // Eq. 11.
     const double factor =

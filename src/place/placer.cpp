@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace mfa::place {
 
 using fpga::Resource;
@@ -12,6 +14,15 @@ GlobalPlacer::GlobalPlacer(PlacementProblem& problem, PlacerOptions options)
       options_(options),
       rng_(options.seed),
       density_weight_(options.density_weight) {
+  MFA_CHECK(options_.bins_x > 0 && options_.bins_y > 0)
+      << " placer bin grid must be non-empty, got " << options_.bins_x << "x"
+      << options_.bins_y;
+  // Every net pin must reference a valid object; validated once here so the
+  // hot force loops can index placement_ unchecked.
+  const auto nobj = static_cast<std::int64_t>(problem.objects.size());
+  for (const auto& pins : problem.net_pins)
+    for (const auto& p : pins)
+      MFA_CHECK_BOUNDS(p.obj, nobj) << " net pin object index";
   const auto& device = problem.device();
   bw_ = static_cast<double>(device.cols()) /
         static_cast<double>(options_.bins_x);
@@ -79,7 +90,7 @@ void GlobalPlacer::clamp_object(std::int64_t oi) {
                  static_cast<double>(device.rows()) - obj.height + 0.75);
 }
 
-void GlobalPlacer::compute_density_maps() {
+void GlobalPlacer::compute_density_maps() const {
   for (size_t r = 0; r < fpga::kNumResources; ++r)
     std::fill(usage_[r].begin(), usage_[r].end(), 0.0);
   for (size_t oi = 0; oi < problem_->objects.size(); ++oi) {
@@ -485,8 +496,9 @@ void GlobalPlacer::spread_cells() {
 }
 
 std::array<double, fpga::kNumResources> GlobalPlacer::overflow() const {
-  // Recompute on the current placement (usage_ may be stale after moves).
-  const_cast<GlobalPlacer*>(this)->compute_density_maps();
+  // Recompute on the current placement (usage_ may be stale after moves;
+  // it is a mutable cache, see placer.h).
+  compute_density_maps();
   std::array<double, fpga::kNumResources> out{};
   const auto nbins = static_cast<size_t>(options_.bins_x * options_.bins_y);
   for (size_t r = 0; r < fpga::kNumResources; ++r) {

@@ -74,7 +74,7 @@ class GlobalPlacer {
   std::int64_t total_iterations() const { return global_iter_; }
 
  private:
-  void compute_density_maps();
+  void compute_density_maps() const;
   void solve_potentials();
   void clamp_object(std::int64_t oi);
   /// Lookahead spreading: bin eviction for LUT/FF, column-domain
@@ -89,8 +89,12 @@ class GlobalPlacer {
   double density_weight_;
   double noise_scale_ = 1.0;  // decays once the overflow gate is met
   std::int64_t global_iter_ = 0;
-  // Per-resource bin maps.
-  std::array<std::vector<double>, fpga::kNumResources> usage_;
+  // Per-resource bin maps. `usage_` is a cache of the density map for the
+  // CURRENT placement_: it is recomputed from scratch by
+  // compute_density_maps() and never carries information across calls, so
+  // const accessors (overflow()) may refresh it without observable state
+  // change — hence mutable.
+  mutable std::array<std::vector<double>, fpga::kNumResources> usage_;
   std::array<std::vector<double>, fpga::kNumResources> capacity_;
   // Poisson potential per resource (warm-started across iterations).
   std::array<std::vector<double>, fpga::kNumResources> potential_;

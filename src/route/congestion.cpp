@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace mfa::route {
 
 CongestionGrid::CongestionGrid(const fpga::InterconnectTileGrid& tiles)
@@ -14,8 +16,15 @@ CongestionGrid::CongestionGrid(const fpga::InterconnectTileGrid& tiles)
 
 void CongestionGrid::add_demand(WireClass w, Direction d, std::int64_t gx,
                                 std::int64_t gy, double amount) {
-  demand_[static_cast<size_t>(w)][static_cast<size_t>(d)]
-         [static_cast<size_t>(tiles_->tile_index(gx, gy))] += amount;
+  MFA_DCHECK_BOUNDS(gx, width()) << " add_demand tile x";
+  MFA_DCHECK_BOUNDS(gy, height()) << " add_demand tile y";
+  auto& cell = demand_[static_cast<size_t>(w)][static_cast<size_t>(d)]
+                      [static_cast<size_t>(tiles_->tile_index(gx, gy))];
+  cell += amount;
+  // Demand is a count of routed crossings; ripping up more than was applied
+  // indicates a router bookkeeping bug. Tolerance covers float accumulation.
+  MFA_DCHECK_GE(cell, -1e-9)
+      << " add_demand: negative demand at (" << gx << ", " << gy << ")";
 }
 
 double CongestionGrid::utilisation(WireClass w, Direction d, std::int64_t gx,

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <queue>
 
+#include "common/check.h"
+
 namespace mfa::route {
 namespace {
 
@@ -46,6 +48,11 @@ struct GlobalRouter::Impl {
         tiles(opt.grid_width, opt.grid_height, dev.cols(), dev.rows(),
               opt.short_capacity, opt.global_capacity),
         grid(tiles) {
+    MFA_CHECK(opt.grid_width > 0 && opt.grid_height > 0)
+        << " router grid must be non-empty, got " << opt.grid_width << "x"
+        << opt.grid_height;
+    MFA_CHECK(opt.short_capacity > 0 && opt.global_capacity > 0)
+        << " router capacities must be positive";
     const auto n = static_cast<size_t>(tiles.num_tiles());
     for (auto& per_class : history)
       for (auto& per_dir : per_class) per_dir.assign(n, 0.0);
@@ -53,6 +60,8 @@ struct GlobalRouter::Impl {
 
   double edge_cost(WireClass wc, Direction d, std::int64_t gx,
                    std::int64_t gy) const {
+    MFA_DCHECK_BOUNDS(gx, tiles.width()) << " edge_cost tile x";
+    MFA_DCHECK_BOUNDS(gy, tiles.height()) << " edge_cost tile y";
     const double cap = static_cast<double>(tiles.capacity(wc));
     const double demand = grid.demand(wc, d, gx, gy);
     const double over = std::max(0.0, (demand + 1.0) - cap) / cap;
@@ -231,12 +240,21 @@ struct GlobalRouter::Impl {
         }
       }
     }
+    // The search box always contains both endpoints and the grid is fully
+    // connected within it, so an unreached goal means the A* bookkeeping is
+    // broken; reconstructing from a -1 `from` entry would loop forever.
+    MFA_CHECK(dist[static_cast<size_t>(goal)] < kInf)
+        << " maze_route: goal (" << conn.x1 << ", " << conn.y1
+        << ") unreached from (" << conn.x0 << ", " << conn.y0 << ")";
     // Reconstruct (goal -> start), then reverse.
     conn.maze_path.clear();
     std::int64_t cx = conn.x1, cy = conn.y1;
     while (!(cx == conn.x0 && cy == conn.y0)) {
-      const auto d =
-          static_cast<Direction>(from[static_cast<size_t>(node(cx, cy))]);
+      const auto step_dir = from[static_cast<size_t>(node(cx, cy))];
+      MFA_DCHECK_GE(step_dir, 0)
+          << " maze_route: broken back-pointer chain at (" << cx << ", " << cy
+          << ")";
+      const auto d = static_cast<Direction>(step_dir);
       conn.maze_path.push_back(static_cast<std::uint8_t>(d));
       switch (d) {  // step backwards
         case Direction::East:
@@ -280,6 +298,11 @@ GlobalRouter::~GlobalRouter() = default;
 void GlobalRouter::initial_route(const std::vector<double>& cell_x,
                                  const std::vector<double>& cell_y) {
   auto& im = *impl_;
+  MFA_CHECK(cell_x.size() == cell_y.size() &&
+            cell_x.size() >= im.design->cells.size())
+      << " initial_route: placement arrays (" << cell_x.size() << ", "
+      << cell_y.size() << ") must cover all " << im.design->cells.size()
+      << " cells";
   im.grid.clear();
   for (auto& per_class : im.history)
     for (auto& per_dir : per_class)

@@ -4,6 +4,7 @@
 
 #include <mutex>
 
+#include "common/check.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "tensor/ops.h"
@@ -64,8 +65,11 @@ struct ConvDims {
 
 ConvDims conv_dims(const Tensor& x, const Tensor& w, std::int64_t stride,
                    std::int64_t pad) {
-  if (x.dim() != 4 || w.dim() != 4)
-    throw std::invalid_argument("conv2d: x and w must be 4-D (NCHW)");
+  MFA_CHECK(x.dim() == 4 && w.dim() == 4)
+      << " conv2d: x and w must be 4-D (NCHW), got " << shape_str(x.shape())
+      << " and " << shape_str(w.shape());
+  MFA_CHECK(stride > 0 && pad >= 0)
+      << " conv2d: stride " << stride << ", padding " << pad;
   ConvDims d{};
   d.N = x.size(0);
   d.Cin = x.size(1);
@@ -76,15 +80,14 @@ ConvDims conv_dims(const Tensor& x, const Tensor& w, std::int64_t stride,
   d.Kw = w.size(3);
   d.stride = stride;
   d.pad = pad;
-  if (w.size(1) != d.Cin)
-    throw std::invalid_argument(
-        log::format("conv2d: Cin mismatch (%lld vs %lld)",
-                    static_cast<long long>(w.size(1)),
-                    static_cast<long long>(d.Cin)));
+  MFA_CHECK_EQ(w.size(1), d.Cin)
+      << " conv2d: Cin mismatch, x " << shape_str(x.shape()) << " vs w "
+      << shape_str(w.shape());
   d.Hout = (d.H + 2 * pad - d.Kh) / stride + 1;
   d.Wout = (d.W + 2 * pad - d.Kw) / stride + 1;
-  if (d.Hout <= 0 || d.Wout <= 0)
-    throw std::invalid_argument("conv2d: empty output");
+  MFA_CHECK(d.Hout > 0 && d.Wout > 0)
+      << " conv2d: empty output for x " << shape_str(x.shape()) << ", kernel "
+      << shape_str(w.shape()) << ", stride " << stride << ", padding " << pad;
   return d;
 }
 
@@ -135,6 +138,11 @@ void col2im(const float* col, const ConvDims& d, float* img) {
 Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
               std::int64_t stride, std::int64_t padding) {
   const ConvDims d = conv_dims(x, w, stride, padding);
+  if (b.defined()) {
+    MFA_CHECK_EQ(b.numel(), d.Cout)
+        << " conv2d: bias " << shape_str(b.shape())
+        << " does not match Cout of w " << shape_str(w.shape());
+  }
   const std::int64_t CKK = d.Cin * d.Kh * d.Kw;
   const std::int64_t HW = d.Hout * d.Wout;
 
@@ -225,7 +233,12 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
 }
 
 Tensor max_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
+  MFA_CHECK_EQ(x.dim(), 4) << " max_pool2d expects NCHW, got "
+                           << shape_str(x.shape());
   const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  MFA_CHECK(kernel > 0 && stride > 0 && kernel <= H && kernel <= W)
+      << " max_pool2d: kernel " << kernel << ", stride " << stride
+      << " on input " << shape_str(x.shape());
   const std::int64_t Hout = (H - kernel) / stride + 1;
   const std::int64_t Wout = (W - kernel) / stride + 1;
   auto arg = std::make_shared<std::vector<std::int64_t>>(
@@ -270,7 +283,12 @@ Tensor max_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
 }
 
 Tensor avg_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
+  MFA_CHECK_EQ(x.dim(), 4) << " avg_pool2d expects NCHW, got "
+                           << shape_str(x.shape());
   const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  MFA_CHECK(kernel > 0 && stride > 0 && kernel <= H && kernel <= W)
+      << " avg_pool2d: kernel " << kernel << ", stride " << stride
+      << " on input " << shape_str(x.shape());
   const std::int64_t Hout = (H - kernel) / stride + 1;
   const std::int64_t Wout = (W - kernel) / stride + 1;
   const float inv = 1.0f / static_cast<float>(kernel * kernel);
@@ -314,6 +332,8 @@ Tensor avg_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
 }
 
 Tensor upsample_nearest2x(const Tensor& x) {
+  MFA_CHECK_EQ(x.dim(), 4) << " upsample_nearest2x expects NCHW, got "
+                           << shape_str(x.shape());
   const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
   Tensor out = Tensor::make_result(
       {N, C, H * 2, W * 2}, {x}, [x, N, C, H, W](detail::TensorImpl& o) {

@@ -1,6 +1,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/log.h"
 #include "tensor/ops.h"
 
@@ -41,11 +42,8 @@ Bcast make_bcast(const Shape& a, const Shape& b) {
         d >= nd - a.size() ? a[d - (nd - a.size())] : 1;
     const std::int64_t bd =
         d >= nd - b.size() ? b[d - (nd - b.size())] : 1;
-    if (ad != bd && ad != 1 && bd != 1) {
-      throw std::invalid_argument(
-          log::format("broadcast mismatch: %s vs %s", shape_str(a).c_str(),
-                      shape_str(b).c_str()));
-    }
+    MFA_CHECK(ad == bd || ad == 1 || bd == 1)
+        << " broadcast mismatch: " << shape_str(a) << " vs " << shape_str(b);
     bc.out[d] = std::max(ad, bd);
     if (ad != 1 && d >= nd - a.size()) bc.astride[d] = ast[d - (nd - a.size())];
     if (bd != 1 && d >= nd - b.size()) bc.bstride[d] = bst[d - (nd - b.size())];
@@ -84,6 +82,8 @@ void bcast_walk(const Bcast& bc, F&& f) {
 template <typename FwdFn, typename DaFn, typename DbFn>
 Tensor binary_op(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfa,
                  DbFn dfb) {
+  MFA_CHECK(a.defined() && b.defined())
+      << " binary op on an undefined tensor";
   const Bcast bc = make_bcast(a.shape(), b.shape());
   Tensor out = Tensor::make_result(
       bc.out, {a, b}, [a, b, bc, dfa, dfb](detail::TensorImpl& o) {
@@ -128,6 +128,7 @@ Tensor binary_op(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfa,
 /// Generic unary op. DFn gives d(out)/d(in) as a function of (in, out).
 template <typename FwdFn, typename DFn>
 Tensor unary_op(const Tensor& a, FwdFn fwd, DFn dfn) {
+  MFA_CHECK(a.defined()) << " unary op on an undefined tensor";
   Tensor out = Tensor::make_result(
       a.shape(), {a}, [a, dfn](detail::TensorImpl& o) {
         auto ai = a.impl();

@@ -2,6 +2,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/log.h"
 #include "tensor/ops.h"
 
@@ -13,21 +14,16 @@ Tensor cross_entropy(const Tensor& logits, const Tensor& targets) {
   //   [N, C, H, W] + [N,H,W]  -> outer=N, inner=H*W
   const auto nd = logits.dim();
   std::int64_t outer = 0, classes = 0, inner = 0;
-  if (nd == 2) {
-    outer = logits.size(0);
-    classes = logits.size(1);
-    inner = 1;
-    if (targets.numel() != outer)
-      throw std::invalid_argument("cross_entropy: target count mismatch");
-  } else if (nd == 4) {
-    outer = logits.size(0);
-    classes = logits.size(1);
-    inner = logits.size(2) * logits.size(3);
-    if (targets.numel() != outer * inner)
-      throw std::invalid_argument("cross_entropy: target count mismatch");
-  } else {
-    throw std::invalid_argument("cross_entropy: logits must be 2-D or 4-D");
-  }
+  MFA_CHECK(nd == 2 || nd == 4)
+      << " cross_entropy: logits must be 2-D or 4-D, got "
+      << shape_str(logits.shape());
+  outer = logits.size(0);
+  classes = logits.size(1);
+  inner = nd == 4 ? logits.size(2) * logits.size(3) : 1;
+  MFA_CHECK_EQ(targets.numel(), outer * inner)
+      << " cross_entropy: target count mismatch, logits "
+      << shape_str(logits.shape()) << " vs targets "
+      << shape_str(targets.shape());
   const std::int64_t count = outer * inner;
 
   Tensor out = Tensor::make_result(
@@ -83,8 +79,7 @@ Tensor cross_entropy(const Tensor& logits, const Tensor& targets) {
 }
 
 Tensor mse_loss(const Tensor& pred, const Tensor& target) {
-  if (pred.numel() != target.numel())
-    throw std::invalid_argument("mse_loss: size mismatch");
+  MFA_CHECK_SHAPE(pred.shape(), target.shape()) << " in mse_loss";
   const auto n = pred.numel();
   Tensor out = Tensor::make_result(
       {1}, {pred, target}, [pred, target, n](detail::TensorImpl& o) {

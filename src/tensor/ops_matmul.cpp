@@ -1,5 +1,6 @@
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "tensor/ops.h"
@@ -66,20 +67,16 @@ void gemm_tn(const float* A, const float* B, float* C, std::int64_t m,
 Tensor matmul(const Tensor& a, const Tensor& b) {
   const auto ad = a.dim();
   const auto bd = b.dim();
-  if ((ad != 2 && ad != 3) || (bd != 2 && bd != 3) || bd > ad) {
-    throw std::invalid_argument(
-        log::format("matmul: unsupported ranks %s x %s",
-                    shape_str(a.shape()).c_str(), shape_str(b.shape()).c_str()));
-  }
+  MFA_CHECK((ad == 2 || ad == 3) && (bd == 2 || bd == 3) && bd <= ad)
+      << " matmul: unsupported ranks " << shape_str(a.shape()) << " x "
+      << shape_str(b.shape());
   const std::int64_t batch = ad == 3 ? a.size(0) : 1;
   const std::int64_t m = a.size(ad - 2);
   const std::int64_t k = a.size(ad - 1);
   const std::int64_t n = b.size(bd - 1);
-  if (b.size(bd - 2) != k || (bd == 3 && b.size(0) != batch)) {
-    throw std::invalid_argument(
-        log::format("matmul: shape mismatch %s x %s",
-                    shape_str(a.shape()).c_str(), shape_str(b.shape()).c_str()));
-  }
+  MFA_CHECK(b.size(bd - 2) == k && (bd != 3 || b.size(0) == batch))
+      << " matmul: shape mismatch " << shape_str(a.shape()) << " x "
+      << shape_str(b.shape());
   Shape out_shape = ad == 3 ? Shape{batch, m, n} : Shape{m, n};
   const bool b_batched = (bd == 3);
 

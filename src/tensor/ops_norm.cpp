@@ -1,6 +1,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "tensor/ops.h"
 
 namespace mfa::ops {
@@ -8,8 +9,13 @@ namespace mfa::ops {
 Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                     Tensor& running_mean, Tensor& running_var, bool training,
                     float momentum, float eps) {
-  if (x.dim() != 4) throw std::invalid_argument("batch_norm2d: x must be NCHW");
+  MFA_CHECK_EQ(x.dim(), 4) << " batch_norm2d expects NCHW, got "
+                           << shape_str(x.shape());
   const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  MFA_CHECK(gamma.numel() == C && beta.numel() == C &&
+            running_mean.numel() == C && running_var.numel() == C)
+      << " batch_norm2d: parameter size disagrees with C of "
+      << shape_str(x.shape());
   const std::int64_t M = N * H * W;  // reduction size per channel
 
   // Per-channel statistics used for this pass.
@@ -117,10 +123,13 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
 Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                   float eps) {
   const auto nd = x.dim();
+  MFA_CHECK_GE(nd, 1) << " layer_norm on " << shape_str(x.shape());
   const std::int64_t D = x.size(nd - 1);
   const std::int64_t rows = x.numel() / D;
-  if (gamma.numel() != D || beta.numel() != D)
-    throw std::invalid_argument("layer_norm: gamma/beta must match last dim");
+  MFA_CHECK(gamma.numel() == D && beta.numel() == D)
+      << " layer_norm: gamma " << shape_str(gamma.shape()) << " / beta "
+      << shape_str(beta.shape()) << " must match last dim of "
+      << shape_str(x.shape());
 
   auto mean = std::make_shared<std::vector<float>>(static_cast<size_t>(rows));
   auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(rows));

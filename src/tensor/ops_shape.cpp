@@ -2,6 +2,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/log.h"
 #include "tensor/ops.h"
 
@@ -24,19 +25,17 @@ Tensor reshape(const Tensor& a, Shape new_shape) {
   std::int64_t infer = -1;
   for (size_t d = 0; d < new_shape.size(); ++d) {
     if (new_shape[d] == -1) {
-      if (infer >= 0) throw std::invalid_argument("reshape: two -1 dims");
+      MFA_CHECK(infer < 0) << " reshape: two -1 dims in "
+                           << shape_str(new_shape);
       infer = static_cast<std::int64_t>(d);
     } else {
       known *= new_shape[d];
     }
   }
   if (infer >= 0) new_shape[static_cast<size_t>(infer)] = a.numel() / known;
-  if (shape_numel(new_shape) != a.numel()) {
-    throw std::invalid_argument(
-        log::format("reshape: %s -> %s element mismatch",
-                    shape_str(a.shape()).c_str(),
-                    shape_str(new_shape).c_str()));
-  }
+  MFA_CHECK_EQ(shape_numel(new_shape), a.numel())
+      << " reshape: " << shape_str(a.shape()) << " -> "
+      << shape_str(new_shape) << " element mismatch";
   Tensor out = Tensor::make_result(
       new_shape, {a}, [a](detail::TensorImpl& o) {
         auto ai = a.impl();
@@ -53,8 +52,8 @@ Tensor reshape(const Tensor& a, Shape new_shape) {
 
 Tensor permute(const Tensor& a, const std::vector<std::int64_t>& dims) {
   const auto nd = a.dim();
-  if (static_cast<std::int64_t>(dims.size()) != nd)
-    throw std::invalid_argument("permute: rank mismatch");
+  MFA_CHECK_EQ(static_cast<std::int64_t>(dims.size()), nd)
+      << " permute: rank mismatch for " << shape_str(a.shape());
   Shape out_shape(static_cast<size_t>(nd));
   for (std::int64_t d = 0; d < nd; ++d)
     out_shape[static_cast<size_t>(d)] = a.size(dims[static_cast<size_t>(d)]);
@@ -100,7 +99,7 @@ Tensor permute(const Tensor& a, const std::vector<std::int64_t>& dims) {
 
 Tensor transpose2d(const Tensor& a) {
   const auto nd = a.dim();
-  if (nd < 2) throw std::invalid_argument("transpose2d: rank < 2");
+  MFA_CHECK_GE(nd, 2) << " transpose2d on " << shape_str(a.shape());
   std::vector<std::int64_t> dims(static_cast<size_t>(nd));
   std::iota(dims.begin(), dims.end(), 0);
   std::swap(dims[static_cast<size_t>(nd - 1)], dims[static_cast<size_t>(nd - 2)]);
@@ -108,16 +107,20 @@ Tensor transpose2d(const Tensor& a) {
 }
 
 Tensor concat(const std::vector<Tensor>& parts, std::int64_t dim) {
-  if (parts.empty()) throw std::invalid_argument("concat: no inputs");
+  MFA_CHECK(!parts.empty()) << " concat: no inputs";
   const auto nd = parts[0].dim();
   if (dim < 0) dim += nd;
+  MFA_CHECK_BOUNDS(dim, nd) << " concat dim";
   Shape out_shape = parts[0].shape();
   out_shape[static_cast<size_t>(dim)] = 0;
   for (const auto& p : parts) {
-    if (p.dim() != nd) throw std::invalid_argument("concat: rank mismatch");
+    MFA_CHECK_EQ(p.dim(), nd) << " concat: rank mismatch, "
+                              << shape_str(p.shape()) << " vs "
+                              << shape_str(parts[0].shape());
     for (std::int64_t d = 0; d < nd; ++d) {
-      if (d != dim && p.size(d) != parts[0].size(d))
-        throw std::invalid_argument("concat: shape mismatch off-dim");
+      MFA_CHECK(d == dim || p.size(d) == parts[0].size(d))
+          << " concat: off-dim mismatch, " << shape_str(p.shape()) << " vs "
+          << shape_str(parts[0].shape()) << " along dim " << dim;
     }
     out_shape[static_cast<size_t>(dim)] += p.size(dim);
   }

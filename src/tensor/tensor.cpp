@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "common/check.h"
 #include "common/log.h"
 
 namespace mfa {
@@ -23,12 +24,9 @@ std::int64_t shape_numel(const Shape& shape) {
 }
 
 std::string shape_str(const Shape& shape) {
-  std::string s = "[";
-  for (size_t i = 0; i < shape.size(); ++i) {
-    if (i) s += ", ";
-    s += std::to_string(shape[i]);
-  }
-  return s + "]";
+  // Single formatting source: MFA_CHECK_SHAPE messages use the same helper,
+  // so op errors and check failures render shapes identically.
+  return check::detail::vec_str(shape);
 }
 
 Tensor Tensor::wrap(std::shared_ptr<detail::TensorImpl> impl) {
@@ -54,12 +52,9 @@ Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
 
 Tensor Tensor::from_data(Shape shape, std::vector<float> data,
                          bool requires_grad) {
-  if (shape_numel(shape) != static_cast<std::int64_t>(data.size())) {
-    throw std::invalid_argument(
-        log::format("from_data: shape %s wants %lld elements, got %zu",
-                    shape_str(shape).c_str(),
-                    static_cast<long long>(shape_numel(shape)), data.size()));
-  }
+  MFA_CHECK_EQ(shape_numel(shape), static_cast<std::int64_t>(data.size()))
+      << " from_data: shape " << shape_str(shape)
+      << " disagrees with the data length";
   auto impl = std::make_shared<detail::TensorImpl>();
   impl->shape = std::move(shape);
   impl->data = std::move(data);
@@ -86,7 +81,7 @@ Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi,
 }
 
 const Shape& Tensor::shape() const {
-  if (!impl_) throw std::logic_error("shape() on undefined tensor");
+  MFA_CHECK(impl_) << " shape() on undefined tensor";
   return impl_->shape;
 }
 
@@ -109,15 +104,17 @@ std::int64_t Tensor::numel() const {
   return impl_ ? static_cast<std::int64_t>(impl_->data.size()) : 0;
 }
 
-float* Tensor::data() { return impl_->data.data(); }
-const float* Tensor::data() const { return impl_->data.data(); }
+float* Tensor::data() {
+  MFA_CHECK(impl_) << " data() on undefined tensor";
+  return impl_->data.data();
+}
+const float* Tensor::data() const {
+  MFA_CHECK(impl_) << " data() on undefined tensor";
+  return impl_->data.data();
+}
 
 float Tensor::item() const {
-  if (numel() != 1) {
-    throw std::logic_error(
-        log::format("item() on tensor of %lld elements",
-                    static_cast<long long>(numel())));
-  }
+  MFA_CHECK_EQ(numel(), 1) << " item() requires a single-element tensor";
   return impl_->data[0];
 }
 
@@ -137,23 +134,30 @@ size_t flat_index(const Shape& shape, std::initializer_list<std::int64_t> idx) {
 }  // namespace
 
 float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  MFA_CHECK(impl_) << " at() on undefined tensor";
   return impl_->data[flat_index(impl_->shape, idx)];
 }
 
 void Tensor::set(std::initializer_list<std::int64_t> idx, float v) {
+  MFA_CHECK(impl_) << " set() on undefined tensor";
   impl_->data[flat_index(impl_->shape, idx)] = v;
 }
 
-std::vector<float> Tensor::to_vector() const { return impl_->data; }
+std::vector<float> Tensor::to_vector() const {
+  MFA_CHECK(impl_) << " to_vector() on undefined tensor";
+  return impl_->data;
+}
 
 bool Tensor::requires_grad() const { return impl_ && impl_->requires_grad; }
 
 Tensor& Tensor::set_requires_grad(bool on) {
+  MFA_CHECK(impl_) << " set_requires_grad() on undefined tensor";
   impl_->requires_grad = on;
   return *this;
 }
 
 Tensor Tensor::grad() const {
+  MFA_CHECK(impl_) << " grad() on undefined tensor";
   Tensor g = zeros(impl_->shape);
   if (impl_->grad.size() == impl_->data.size()) g.impl_->data = impl_->grad;
   return g;
@@ -165,8 +169,10 @@ void Tensor::zero_grad() {
 }
 
 void Tensor::backward() {
-  if (numel() != 1)
-    throw std::logic_error("backward() requires a scalar root");
+  MFA_CHECK(impl_) << " backward() on undefined tensor";
+  MFA_CHECK_EQ(numel(), 1)
+      << " backward() requires a scalar root, got shape "
+      << shape_str(impl_->shape);
   // Topological sort (iterative post-order DFS) over the captured graph.
   std::vector<detail::TensorImpl*> order;
   std::unordered_set<detail::TensorImpl*> visited;
@@ -189,12 +195,30 @@ void Tensor::backward() {
   }
   impl_->ensure_grad();
   impl_->grad[0] = 1.0f;
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    if ((*it)->backward_fn) (*it)->backward_fn();
+  const bool scan_grads = check::finite_grad_checks_enabled();
+  std::int64_t tape_pos = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it, ++tape_pos) {
+    if (!(*it)->backward_fn) continue;
+    (*it)->backward_fn();
+    if (!scan_grads) continue;
+    // Debug-flagged NaN/Inf guard: a non-finite gradient scattered into any
+    // parent fails here, at the op that produced it, instead of silently
+    // corrupting every upstream parameter update.
+    for (const auto& parent : (*it)->parents) {
+      if (parent->grad.empty()) continue;
+      const std::string what = log::format(
+          "backward() at tape node #%lld into parent of shape %s",
+          static_cast<long long>(tape_pos),
+          shape_str(parent->shape).c_str());
+      check::check_all_finite(parent->grad.data(),
+                              static_cast<std::int64_t>(parent->grad.size()),
+                              what.c_str());
+    }
   }
 }
 
 Tensor Tensor::detach() const {
+  MFA_CHECK(impl_) << " detach() on undefined tensor";
   auto impl = std::make_shared<detail::TensorImpl>();
   impl->shape = impl_->shape;
   impl->data = impl_->data;
@@ -205,8 +229,7 @@ Tensor Tensor::detach() const {
 Tensor Tensor::clone() const { return detach(); }
 
 void Tensor::add_(const Tensor& other, float alpha) {
-  if (numel() != other.numel())
-    throw std::invalid_argument("add_: size mismatch");
+  MFA_CHECK_EQ(numel(), other.numel()) << " add_: size mismatch";
   const float* src = other.data();
   float* dst = data();
   const auto n = numel();
@@ -214,16 +237,17 @@ void Tensor::add_(const Tensor& other, float alpha) {
 }
 
 void Tensor::mul_(float s) {
+  MFA_CHECK(impl_) << " mul_() on undefined tensor";
   for (auto& v : impl_->data) v *= s;
 }
 
 void Tensor::fill_(float v) {
+  MFA_CHECK(impl_) << " fill_() on undefined tensor";
   std::fill(impl_->data.begin(), impl_->data.end(), v);
 }
 
 void Tensor::copy_from(const Tensor& src) {
-  if (numel() != src.numel())
-    throw std::invalid_argument("copy_from: size mismatch");
+  MFA_CHECK_EQ(numel(), src.numel()) << " copy_from: size mismatch";
   impl_->data = src.impl_->data;
 }
 

@@ -1,0 +1,245 @@
+// Tests for the MFA_CHECK invariant subsystem (src/common/check.h):
+// macro semantics, message content, operand evaluation counts, DCHECK
+// elision, the parallel_for exception path, and the finite-gradient guard.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using mfa::Tensor;
+using mfa::check::CheckError;
+
+std::string message_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected CheckError";
+  return {};
+}
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(MFA_CHECK(1 + 1 == 2) << "never rendered");
+  EXPECT_NO_THROW(MFA_CHECK_EQ(3, 3));
+  EXPECT_NO_THROW(MFA_CHECK_LT(2, 3) << "context");
+  EXPECT_NO_THROW(MFA_CHECK_BOUNDS(0, 1));
+  EXPECT_NO_THROW(MFA_CHECK_FINITE(0.5f));
+}
+
+TEST(Check, FailureThrowsCheckError) {
+  EXPECT_THROW(MFA_CHECK(false), CheckError);
+  EXPECT_THROW(MFA_CHECK_EQ(1, 2), CheckError);
+  EXPECT_THROW(MFA_CHECK_GE(1, 2) << " extra", CheckError);
+  // CheckError is an invalid_argument (and so a logic_error).
+  EXPECT_THROW(MFA_CHECK(false), std::invalid_argument);
+  EXPECT_THROW(MFA_CHECK(false), std::logic_error);
+}
+
+TEST(Check, MessageCarriesFileExpressionAndContext) {
+  const std::string msg =
+      message_of([] { MFA_CHECK(2 < 1) << " while testing " << 42; });
+  EXPECT_NE(msg.find("test_check.cpp"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("check failed"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("2 < 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("while testing 42"), std::string::npos) << msg;
+}
+
+TEST(Check, ComparisonMessageCarriesBothValues) {
+  const std::string msg = message_of([] {
+    const int lhs = 7, rhs = 9;
+    MFA_CHECK_EQ(lhs, rhs) << " in test";
+  });
+  EXPECT_NE(msg.find("lhs == rhs"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(7 vs 9)"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("in test"), std::string::npos) << msg;
+}
+
+TEST(Check, ShapeMessageUsesCanonicalFormat) {
+  const std::string msg = message_of([] {
+    const std::vector<std::int64_t> a{2, 3}, b{4, 5, 6};
+    MFA_CHECK_SHAPE(a, b) << " conv weight";
+  });
+  EXPECT_NE(msg.find("[2, 3]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("[4, 5, 6]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("conv weight"), std::string::npos) << msg;
+}
+
+TEST(Check, BoundsAndFiniteMessages) {
+  const std::string bmsg = message_of([] { MFA_CHECK_BOUNDS(5, 3); });
+  EXPECT_NE(bmsg.find("index 5"), std::string::npos) << bmsg;
+  EXPECT_NE(bmsg.find("size 3"), std::string::npos) << bmsg;
+  const std::string fmsg = message_of([] {
+    const float bad = std::nanf("");
+    MFA_CHECK_FINITE(bad);
+  });
+  EXPECT_NE(fmsg.find("is finite"), std::string::npos) << fmsg;
+}
+
+TEST(Check, OperandsEvaluateExactlyOnce) {
+  int calls = 0;
+  const auto count = [&calls] { return ++calls; };
+  MFA_CHECK_GE(count(), 1) << "should pass";
+  EXPECT_EQ(calls, 1);
+  calls = 0;
+  EXPECT_THROW(MFA_CHECK_LT(count(), 1), CheckError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, SafeInUnbracedIfElse) {
+  // Compile-time property: the macros must bind cleanly without braces.
+  const auto probe = [](bool flag) {
+    if (flag)
+      MFA_CHECK_EQ(1, 1) << "then-branch";
+    else
+      MFA_CHECK_EQ(2, 2) << "else-branch";
+  };
+  EXPECT_NO_THROW(probe(true));
+  EXPECT_NO_THROW(probe(false));
+}
+
+TEST(Check, DcheckMatchesBuildMode) {
+#if MFA_DCHECK_IS_ON
+  EXPECT_THROW(MFA_DCHECK(false), CheckError);
+  EXPECT_THROW(MFA_DCHECK_EQ(1, 2), CheckError);
+  int calls = 0;
+  EXPECT_THROW(MFA_DCHECK_GT(([&] { return ++calls; })(), 5), CheckError);
+  EXPECT_EQ(calls, 1);
+#else
+  // Compiled out: never throws and never evaluates its operands.
+  int calls = 0;
+  EXPECT_NO_THROW(MFA_DCHECK(false));
+  EXPECT_NO_THROW(MFA_DCHECK_GT(([&] { return ++calls; })(), 5));
+  EXPECT_EQ(calls, 0);
+#endif
+}
+
+TEST(Check, CheckAllFiniteNamesOffendingIndex) {
+  const float ok[3] = {1.0f, 2.0f, 3.0f};
+  EXPECT_NO_THROW(mfa::check::check_all_finite(ok, 3, "ok buffer"));
+  const float bad[3] = {1.0f, std::numeric_limits<float>::infinity(), 3.0f};
+  try {
+    mfa::check::check_all_finite(bad, 3, "grad of layer1");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("index 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("grad of layer1"), std::string::npos) << msg;
+  }
+}
+
+// ---- acceptance criterion: a deliberate tensor shape mismatch throws
+// CheckError whose message contains BOTH shapes via shape_str ----
+
+TEST(Check, TensorShapeMismatchMessageShowsBothShapes) {
+  Tensor a = Tensor::zeros({2, 3});
+  Tensor b = Tensor::zeros({4, 5});
+  try {
+    Tensor c = mfa::ops::add(a, b);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(mfa::shape_str({2, 3})), std::string::npos) << msg;
+    EXPECT_NE(msg.find(mfa::shape_str({4, 5})), std::string::npos) << msg;
+  }
+}
+
+TEST(Check, MseLossShapeMismatchShowsBothShapes) {
+  Tensor pred = Tensor::zeros({2, 3});
+  Tensor target = Tensor::zeros({3, 2});
+  try {
+    mfa::ops::mse_loss(pred, target);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("[2, 3]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[3, 2]"), std::string::npos) << msg;
+  }
+}
+
+TEST(Check, BackwardRequiresScalarRoot) {
+  Tensor a = Tensor::ones({2, 2});
+  a.set_requires_grad(true);
+  Tensor y = mfa::ops::mul(a, a);
+  EXPECT_THROW(y.backward(), CheckError);
+}
+
+// ---- finite-gradient guard ----
+
+TEST(Check, FiniteGradGuardCatchesNaNGradients) {
+  mfa::check::set_finite_grad_checks(true);
+  Tensor a = Tensor::from_data({2}, {0.0f, 1.0f});
+  a.set_requires_grad(true);
+  // log(0) = -inf forward; backward 1/0 = inf gradient.
+  Tensor y = mfa::ops::sum(mfa::ops::log(a));
+  EXPECT_THROW(y.backward(), CheckError);
+  mfa::check::set_finite_grad_checks(false);
+  // Guard off: same graph back-propagates without throwing.
+  Tensor b = Tensor::from_data({2}, {0.0f, 1.0f});
+  b.set_requires_grad(true);
+  Tensor z = mfa::ops::sum(mfa::ops::log(b));
+  EXPECT_NO_THROW(z.backward());
+}
+
+// ---- parallel_for exception propagation (satellite of the same PR) ----
+
+TEST(Check, ParallelForPropagatesWorkerException) {
+  EXPECT_THROW(
+      mfa::parallel_for(
+          1000,
+          [](std::int64_t begin, std::int64_t end) {
+            for (std::int64_t i = begin; i < end; ++i)
+              if (i == 617) throw std::runtime_error("worker 617");
+          },
+          /*grain=*/64),
+      std::runtime_error);
+}
+
+TEST(Check, ParallelForExceptionStress) {
+  // Many rounds with throwing workers: joins must stay clean (no terminate,
+  // no deadlock) and every round must surface the failure.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran{0};
+    bool threw = false;
+    try {
+      mfa::parallel_for(
+          256,
+          [&](std::int64_t begin, std::int64_t end) {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            if (begin == 0) throw std::invalid_argument("boom");
+            (void)end;
+          },
+          /*grain=*/16);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw) << "round " << round;
+    EXPECT_GE(ran.load(), 1);
+  }
+}
+
+TEST(Check, ParallelForStillComputesWhenNoThrow) {
+  std::vector<int> hit(1000, 0);
+  mfa::parallel_for(
+      1000,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i)
+          hit[static_cast<size_t>(i)] = 1;
+      },
+      /*grain=*/64);
+  for (int h : hit) EXPECT_EQ(h, 1);
+}
+
+}  // namespace

@@ -87,5 +87,64 @@ TEST(Checkpoint, RejectsWrongParameterCount) {
   std::remove(path.c_str());
 }
 
+TEST(Checkpoint, RejectsTruncationAtEveryLength) {
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  const auto path = temp_path("full");
+  save_checkpoint(a, path);
+  // Read the full file back, then try every strictly shorter prefix: each
+  // one must be rejected (magic, header, name, shape, or tensor data cut).
+  std::string bytes;
+  {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+      bytes.append(buf, got);
+    std::fclose(f);
+  }
+  std::remove(path.c_str());
+  ASSERT_GT(bytes.size(), 16u);
+  const auto trunc_path = temp_path("trunc");
+  // Step through prefix lengths (every byte near boundaries is cheap here:
+  // the file is tiny, so just test all of them).
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    FILE* f = std::fopen(trunc_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, len, f);
+    std::fclose(f);
+    Linear fresh(4, 3, rng);
+    EXPECT_THROW(load_checkpoint(fresh, trunc_path), std::runtime_error)
+        << "prefix length " << len << " of " << bytes.size();
+  }
+  // The untruncated file still loads.
+  {
+    FILE* f = std::fopen(trunc_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+  Linear fresh(4, 3, rng);
+  EXPECT_NO_THROW(load_checkpoint(fresh, trunc_path));
+  std::remove(trunc_path.c_str());
+}
+
+TEST(Checkpoint, RejectsTrailingGarbage) {
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  const auto path = temp_path("trailing");
+  save_checkpoint(a, path);
+  {
+    FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("extra", f);
+    std::fclose(f);
+  }
+  Linear fresh(4, 3, rng);
+  EXPECT_THROW(load_checkpoint(fresh, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace mfa::nn
