@@ -1,8 +1,13 @@
 // Trains the MFA+transformer congestion predictor on one benchmark and
 // reports the Table I metrics (ACC / R^2 / NRMS) on held-out placements.
 //
-// Usage: train_predictor [design_name] [placements] [epochs]
-//   e.g.  train_predictor Design_180 6 20
+// Usage: train_predictor [design_name] [placements] [epochs] [checkpoint_dir]
+//   e.g.  train_predictor Design_180 6 20 /tmp/ckpt
+//
+// With a checkpoint_dir the run is crash-safe: an epoch snapshot is written
+// atomically after every epoch, and re-running the same command resumes from
+// the latest valid snapshot instead of starting over (kill the process
+// mid-training and relaunch to see it).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,6 +25,7 @@ int main(int argc, char** argv) {
   const std::string design_name = argc > 1 ? argv[1] : "Design_116";
   const std::int64_t placements = argc > 2 ? std::atoll(argv[2]) : 6;
   const std::int64_t epochs = argc > 3 ? std::atoll(argv[3]) : 20;
+  const std::string checkpoint_dir = argc > 4 ? argv[4] : "";
 
   const auto device = fpga::DeviceGrid::make_xcvu3p_like(60, 40);
   const auto spec = netlist::mlcad2023_spec(design_name);
@@ -43,9 +49,17 @@ int main(int argc, char** argv) {
   train::TrainOptions topt;
   topt.epochs = epochs;
   topt.verbose = true;
+  topt.checkpoint_dir = checkpoint_dir;  // empty = no checkpointing
   log::set_level(log::Level::Info);
-  train::Trainer::fit(*model, train_set, topt);
+  const auto report = train::Trainer::fit_resumable(*model, train_set, topt);
   log::set_level(log::Level::Warn);
+  if (report.start_epoch > 0)
+    std::printf("resumed from epoch %lld checkpoint in %s\n",
+                static_cast<long long>(report.start_epoch),
+                checkpoint_dir.c_str());
+  if (report.rollbacks > 0)
+    std::printf("recovered from %lld diverged epoch(s) by rollback\n",
+                static_cast<long long>(report.rollbacks));
 
   const auto train_metrics = train::Trainer::evaluate(*model, train_set);
   const auto eval_metrics = train::Trainer::evaluate(*model, eval_set);

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# CI matrix: builds and tests the three supported configurations.
+# CI matrix: builds and tests the four supported configurations.
 #
 #   1. RelWithDebInfo          — the default developer build (DCHECKs off)
 #   2. Debug + ASan/UBSan      — memory and UB errors, DCHECKs on
 #   3. Debug + TSan            — data races in parallel_for call sites
+#   4. Debug fault injection   — MFA_FAULT_POINTs live + finite-grad guard
+#                                on, so the crash/rollback recovery paths and
+#                                every fault-gated test actually run
 #
 # Each configuration gets its own build tree under build-ci/ so the matrix
 # never contaminates the developer's ./build. Also runs scripts/check.sh
@@ -29,12 +32,16 @@ run_config() {
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   TSAN_OPTIONS="halt_on_error=1" \
+  MFA_CHECK_FINITE_GRADS="${MFA_CI_FINITE_GRADS:-0}" \
   ctest --test-dir "${dir}" --output-on-failure "${JOBS}"
 }
 
 run_config release RelWithDebInfo ""
 run_config asan    Debug          address
 run_config tsan    Debug          thread
+# Fault-injection job: plain Debug compiles MFA_FAULT_POINT live, and the
+# finite-grad guard env default exercises the dirty-set NaN scan everywhere.
+MFA_CI_FINITE_GRADS=1 run_config faults Debug ""
 
 echo "=== static analysis ==="
 scripts/check.sh build-ci/release

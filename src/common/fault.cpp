@@ -1,0 +1,155 @@
+#include "common/fault.h"
+
+#include <map>
+#include <mutex>
+
+namespace mfa::common {
+namespace {
+
+enum class Trigger { Once, Nth, Probability, Always };
+
+struct Point {
+  Trigger trigger = Trigger::Once;
+  std::int64_t nth = 1;       // for Nth (1-based)
+  double probability = 0.0;   // for Probability
+  std::uint64_t seed = 0;     // for Probability
+  std::int64_t hits = 0;
+  std::int64_t fires = 0;
+  bool spent = false;         // Once: already fired
+  bool armed = true;          // false after disarm(); stats are kept
+};
+
+/// SplitMix64 finaliser: a high-quality 64 -> 64 bit mix. Hashing
+/// (seed, hit index) instead of drawing from a shared stream keeps every
+/// point's fire pattern independent of how often other points are hit.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  mutable std::mutex mu;
+  // std::map: stats() iterates in a stable order for reproducible logs.
+  std::map<std::string, Point> points;
+};
+
+FaultInjector::Impl& FaultInjector::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm_once(const std::string& point) {
+  auto& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  im.points[point] = Point{};  // defaults: Trigger::Once, fresh counters
+}
+
+void FaultInjector::arm_nth(const std::string& point, std::int64_t nth) {
+  auto& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  Point p;
+  p.trigger = Trigger::Nth;
+  p.nth = nth;
+  im.points[point] = p;
+}
+
+void FaultInjector::arm_probability(const std::string& point, double p,
+                                    std::uint64_t seed) {
+  auto& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  Point pt;
+  pt.trigger = Trigger::Probability;
+  pt.probability = p;
+  pt.seed = seed;
+  im.points[point] = pt;
+}
+
+void FaultInjector::arm_always(const std::string& point) {
+  auto& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  Point p;
+  p.trigger = Trigger::Always;
+  im.points[point] = p;
+}
+
+void FaultInjector::disarm(const std::string& point) {
+  auto& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  const auto it = im.points.find(point);
+  if (it != im.points.end()) it->second.armed = false;
+}
+
+void FaultInjector::reset() {
+  auto& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  im.points.clear();
+}
+
+bool FaultInjector::should_fire(const char* point) {
+  auto& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  const auto it = im.points.find(point);
+  if (it == im.points.end() || !it->second.armed) return false;
+  Point& p = it->second;
+  ++p.hits;
+  bool fire = false;
+  switch (p.trigger) {
+    case Trigger::Once:
+      fire = !p.spent;
+      p.spent = true;
+      break;
+    case Trigger::Nth:
+      fire = (p.hits == p.nth);
+      break;
+    case Trigger::Probability: {
+      // Map mix64(seed, hit index) to [0, 1) with 53-bit precision.
+      const double u =
+          static_cast<double>(mix64(p.seed ^ static_cast<std::uint64_t>(
+                                                 p.hits)) >>
+                              11) *
+          0x1.0p-53;
+      fire = u < p.probability;
+      break;
+    }
+    case Trigger::Always:
+      fire = true;
+      break;
+  }
+  if (fire) ++p.fires;
+  return fire;
+}
+
+std::int64_t FaultInjector::hit_count(const std::string& point) const {
+  auto& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  const auto it = im.points.find(point);
+  return it == im.points.end() ? 0 : it->second.hits;
+}
+
+std::int64_t FaultInjector::fire_count(const std::string& point) const {
+  auto& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  const auto it = im.points.find(point);
+  return it == im.points.end() ? 0 : it->second.fires;
+}
+
+std::vector<FaultPointStats> FaultInjector::stats() const {
+  auto& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<FaultPointStats> out;
+  out.reserve(im.points.size());
+  for (const auto& [name, p] : im.points)
+    out.push_back({name, p.hits, p.fires});
+  return out;
+}
+
+}  // namespace mfa::common

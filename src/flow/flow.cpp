@@ -1,8 +1,13 @@
 #include "flow/flow.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "common/check.h"
+#include "common/fault.h"
 #include "common/log.h"
 #include "features/features.h"
 #include "place/legalizer.h"
@@ -27,6 +32,7 @@ FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
   if (strategy == Strategy::Ours && model == nullptr)
     throw std::invalid_argument("flow: Strategy::Ours needs a trained model");
   const auto t_start = Clock::now();
+  FlowResult result;
 
   // ---- stage 1: cascade clustering ----
   place::PlacementProblem problem(*design_, *device_);
@@ -54,20 +60,43 @@ FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
   for (std::int64_t round = 0; round < options_.inflation_rounds; ++round) {
     placer.placement().expand(problem, cell_x, cell_y);
     std::vector<float> levels;
+    bool use_analytic = strategy != Strategy::Ours;
     if (strategy == Strategy::Ours) {
-      // Model input uses the normalised feature stack it was trained on.
-      Tensor feats = features::extract_features(*design_, *device_, cell_x,
-                                                cell_y, fopt);
-      Tensor batched = mfa::ops::reshape(
-          feats, {1, feats.size(0), feats.size(1), feats.size(2)});
-      Tensor pred = model->predict_levels(batched);
-      levels.assign(pred.data(), pred.data() + pred.numel());
-    } else {
+      try {
+        // Model input uses the normalised feature stack it was trained on.
+        Tensor feats = features::extract_features(*design_, *device_, cell_x,
+                                                  cell_y, fopt);
+        Tensor batched = mfa::ops::reshape(
+            feats, {1, feats.size(0), feats.size(1), feats.size(2)});
+        Tensor pred = model->predict_levels(batched);
+        levels.assign(pred.data(), pred.data() + pred.numel());
+        if (MFA_FAULT_POINT("flow.predictor_nan") && !levels.empty())
+          levels[0] = std::numeric_limits<float>::quiet_NaN();
+        if (!std::all_of(levels.begin(), levels.end(),
+                         [](float v) { return std::isfinite(v); }))
+          throw check::CheckError(
+              "predictor produced non-finite congestion levels");
+      } catch (const check::CheckError& e) {
+        // Graceful degradation: a broken predictor (NaN output, invariant
+        // failure in the numeric stack) must not kill the flow — fall back
+        // to the analytic quantile estimate for this round.
+        log::warn("flow: round %lld predictor failed (%s); falling back to "
+                  "analytic congestion estimate",
+                  static_cast<long long>(round), e.what());
+        result.incidents.push_back(
+            {round, "predict",
+             std::string("ML predictor failed, used analytic fallback: ") +
+                 e.what()});
+        use_analytic = true;
+      }
+    }
+    if (use_analytic) {
       features::FeatureOptions raw = fopt;
       raw.normalize = false;  // analytic estimates need raw demand units
       Tensor feats = features::extract_features(*design_, *device_, cell_x,
                                                 cell_y, raw);
-      levels = analytic_levels(strategy, feats);
+      levels = analytic_levels(
+          strategy == Strategy::Ours ? Strategy::Utda : strategy, feats);
     }
     const auto stats = place::apply_inflation(
         problem, placer.placement(), levels, options_.grid, options_.grid,
@@ -98,10 +127,21 @@ FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
   route::GlobalRouter router(*design_, *device_, ropt);
   router.initial_route(cell_x, cell_y);
 
-  FlowResult result;
   result.analysis = router.analyze();
   result.s_ir = route::score::s_ir(result.analysis);
   result.detailed_iterations = router.detailed_route();
+  if (placer.budget_exhausted()) {
+    result.budget_exhausted = true;
+    result.incidents.push_back(
+        {-1, "place",
+         "placer wall-clock budget exhausted; scored best partial placement"});
+  }
+  if (router.budget_exhausted()) {
+    result.budget_exhausted = true;
+    result.incidents.push_back(
+        {-1, "route",
+         "router wall-clock budget exhausted; scored best partial routing"});
+  }
   result.s_dr = route::score::s_dr(result.detailed_iterations);
   result.s_r = route::score::s_r(result.s_ir, result.s_dr);
   result.routed_wirelength = router.routed_wirelength();

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "flow/strategies.h"
 #include "models/congestion_model.h"
@@ -43,6 +45,15 @@ struct FlowOptions {
   std::int64_t min_gp_iterations = 120;
 };
 
+/// One recovery action taken during run(): the flow kept going, but a stage
+/// degraded (e.g. the ML predictor failed and an analytic fallback was used,
+/// or a wall-clock budget cut a stage short).
+struct FlowIncident {
+  std::int64_t round = -1;  // inflation round, or -1 for non-round stages
+  std::string stage;        // "predict", "place", "route"
+  std::string detail;       // human-readable description of what happened
+};
+
 struct FlowResult {
   double s_ir = 1.0;
   double s_dr = 5.0;
@@ -56,6 +67,11 @@ struct FlowResult {
   std::int64_t inflated_objects = 0;
   /// Final routed congestion analysis (kept for reporting / Fig. 1 output).
   route::CongestionAnalysis analysis;
+  /// Recovery actions taken (graceful degradations); empty on a clean run.
+  std::vector<FlowIncident> incidents;
+  /// True when a wall-clock budget stopped the placer or router early; the
+  /// scores describe the best partial result.
+  bool budget_exhausted = false;
 };
 
 class RoutabilityDrivenPlacer {

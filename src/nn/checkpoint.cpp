@@ -1,76 +1,214 @@
 #include "nn/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/log.h"
 
 namespace mfa::nn {
 namespace {
 
-constexpr char kMagic[8] = {'M', 'F', 'A', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagic[8] = {'M', 'F', 'A', 'C', 'K', 'P', 'T', '2'};
+
+// ---- serialisation into a memory image ----
 
 template <typename T>
-void write_pod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void append_pod(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
-template <typename T>
-T read_pod(std::ifstream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("checkpoint: truncated file");
-  return value;
-}
-
-}  // namespace
-
-void save_checkpoint(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out)
-    throw std::runtime_error("checkpoint: cannot open '" + path +
-                             "' for writing");
-  out.write(kMagic, sizeof(kMagic));
+std::string serialize(const Module& module, const CheckpointMeta* meta) {
+  std::string image;
+  image.append(kMagic, sizeof(kMagic));
+  append_pod<std::uint32_t>(image, meta ? 1u : 0u);
+  if (meta) {
+    append_pod<std::int64_t>(image, meta->epoch);
+    append_pod<float>(image, meta->learning_rate);
+  }
   const auto params = module.parameters();
   const auto names = module.parameter_names();
   MFA_CHECK_EQ(static_cast<std::int64_t>(params.size()),
                static_cast<std::int64_t>(names.size()))
       << " save_checkpoint: module reports inconsistent parameter lists";
-  write_pod<std::uint64_t>(out, params.size());
+  append_pod<std::uint64_t>(image, params.size());
   for (size_t i = 0; i < params.size(); ++i) {
     const auto& name = names[i];
     const auto& p = params[i];
-    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    append_pod<std::uint32_t>(image, static_cast<std::uint32_t>(name.size()));
+    image.append(name.data(), name.size());
     const auto& shape = p.shape();
-    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(shape.size()));
-    for (const auto d : shape) write_pod<std::int64_t>(out, d);
-    out.write(reinterpret_cast<const char*>(p.data()),
-              static_cast<std::streamsize>(p.numel() * sizeof(float)));
+    append_pod<std::uint32_t>(image, static_cast<std::uint32_t>(shape.size()));
+    for (const auto d : shape) append_pod<std::int64_t>(image, d);
+    image.append(reinterpret_cast<const char*>(p.data()),
+                 static_cast<size_t>(p.numel()) * sizeof(float));
   }
-  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+  append_pod<std::uint32_t>(
+      image, crc32(image.data(), image.size()));
+  return image;
 }
 
-void load_checkpoint(Module& module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in)
-    throw std::runtime_error("checkpoint: cannot open '" + path +
-                             "' for reading");
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+/// Writes `image` to `path` via temp file + fsync + rename, so the
+/// destination is either the old file or the complete new one at every
+/// instant. The fault point simulates a crash in the vulnerable window.
+void write_atomic(const std::string& image, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    throw std::runtime_error("checkpoint: cannot open '" + tmp +
+                             "' for writing");
+  size_t off = 0;
+  while (off < image.size()) {
+    const ssize_t n = ::write(fd, image.data() + off, image.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw std::runtime_error("checkpoint: write failed for " + tmp);
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("checkpoint: fsync failed for " + tmp);
+  }
+  ::close(fd);
+  if (MFA_FAULT_POINT("checkpoint.crash_before_rename"))
+    throw std::runtime_error(
+        "checkpoint: fault-injected crash before rename (temp file left at " +
+        tmp + ")");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename to '" + path + "' failed");
+  }
+}
+
+void save_impl(const Module& module, const std::string& path,
+               const CheckpointMeta* meta) {
+  std::string image = serialize(module, meta);
+  // Torn-write simulation: one flipped byte in the middle of the image must
+  // be caught by the CRC footer at load time.
+  if (MFA_FAULT_POINT("checkpoint.torn_write"))
+    image[image.size() / 2] = static_cast<char>(image[image.size() / 2] ^ 0x40);
+  write_atomic(image, path);
+}
+
+// ---- parsing from a memory image ----
+
+/// Bounds-checked cursor over the loaded image; any read past the end means
+/// the file was truncated.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  T pod() {
+    T value{};
+    std::memcpy(&value, bytes(sizeof(T), "field"), sizeof(T));
+    return value;
+  }
+
+  const char* bytes(size_t n, const char* what) {
+    if (n > size_ - pos_)
+      throw std::runtime_error(std::string("checkpoint: truncated ") + what);
+    const char* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc) {
+  // Table-driven reflected CRC32 (polynomial 0xEDB88320), table built once.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void save_checkpoint(const Module& module, const std::string& path) {
+  save_impl(module, path, nullptr);
+}
+
+void save_checkpoint(const Module& module, const std::string& path,
+                     const CheckpointMeta& meta) {
+  save_impl(module, path, &meta);
+}
+
+void load_checkpoint(Module& module, const std::string& path,
+                     CheckpointMeta* meta) {
+  std::string image;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+      throw std::runtime_error("checkpoint: cannot open '" + path +
+                               "' for reading");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    image = std::move(oss).str();
+  }
+  // Smallest valid image: magic + has_meta + count + footer.
+  if (image.size() < sizeof(kMagic) + 4 + 8 + 4)
+    throw std::runtime_error("checkpoint: truncated file " + path);
+  if (std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0)
     throw std::runtime_error("checkpoint: bad magic in " + path);
+  // Verify the footer before trusting any header field: a corrupt length or
+  // dim would otherwise drive allocation / parsing off garbage.
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, image.data() + image.size() - 4, 4);
+  const std::uint32_t actual = crc32(image.data(), image.size() - 4);
+  if (stored != actual)
+    throw std::runtime_error(log::format(
+        "checkpoint: CRC mismatch in %s (stored %08x, computed %08x)",
+        path.c_str(), stored, actual));
+
+  Reader r(image.data() + sizeof(kMagic),
+           image.size() - sizeof(kMagic) - 4);
+  const auto has_meta = r.pod<std::uint32_t>();
+  if (has_meta > 1)
+    throw std::runtime_error(
+        log::format("checkpoint: bad metadata flag %u", has_meta));
+  CheckpointMeta parsed;
+  if (has_meta == 1) {
+    parsed.epoch = r.pod<std::int64_t>();
+    parsed.learning_rate = r.pod<float>();
+  }
 
   auto params = module.parameters();
   const auto names = module.parameter_names();
   std::map<std::string, Tensor*> by_name;
   for (size_t i = 0; i < params.size(); ++i) by_name[names[i]] = &params[i];
 
-  const auto count = read_pod<std::uint64_t>(in);
+  const auto count = r.pod<std::uint64_t>();
   if (count != params.size())
     throw std::runtime_error(log::format(
         "checkpoint: parameter count mismatch (file %llu vs module %zu)",
@@ -79,22 +217,19 @@ void load_checkpoint(Module& module, const std::string& path) {
   constexpr std::uint32_t kMaxNameLen = 4096;
   constexpr std::uint32_t kMaxRank = 16;
   for (std::uint64_t i = 0; i < count; ++i) {
-    const auto name_len = read_pod<std::uint32_t>(in);
+    const auto name_len = r.pod<std::uint32_t>();
     if (name_len == 0 || name_len > kMaxNameLen)
       throw std::runtime_error(log::format(
           "checkpoint: implausible name length %u", name_len));
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    if (!in.good())
-      throw std::runtime_error("checkpoint: truncated parameter name");
-    const auto rank = read_pod<std::uint32_t>(in);
+    const std::string name(r.bytes(name_len, "parameter name"), name_len);
+    const auto rank = r.pod<std::uint32_t>();
     if (rank > kMaxRank)
       throw std::runtime_error(
           log::format("checkpoint: implausible rank %u for '%s'", rank,
                       name.c_str()));
     Shape shape(rank);
     for (auto& d : shape) {
-      d = read_pod<std::int64_t>(in);
+      d = r.pod<std::int64_t>();
       if (d < 0)
         throw std::runtime_error(
             log::format("checkpoint: negative dim %lld for '%s'",
@@ -110,21 +245,19 @@ void load_checkpoint(Module& module, const std::string& path) {
                       name.c_str(), shape_str(shape).c_str(),
                       shape_str(target.shape()).c_str()));
     // The shape matched the module's tensor, so the byte count it implies is
-    // exactly what the target holds; a short read means the file was cut off.
+    // exactly what the target holds; a short image means a cut-off file.
     MFA_CHECK_EQ(shape_numel(shape), target.numel())
         << " load_checkpoint: '" << name << "' byte count disagrees with "
         << shape_str(target.shape());
-    in.read(reinterpret_cast<char*>(target.data()),
-            static_cast<std::streamsize>(target.numel() * sizeof(float)));
-    if (!in.good())
-      throw std::runtime_error("checkpoint: truncated tensor data for '" +
-                               name + "'");
+    const auto nbytes = static_cast<size_t>(target.numel()) * sizeof(float);
+    std::memcpy(target.data(), r.bytes(nbytes, "tensor data"), nbytes);
   }
   // Every parameter was consumed; any remaining byte is trailing garbage
   // (e.g. a concatenated or corrupt file) and deserves a hard error.
-  if (in.peek() != std::ifstream::traits_type::eof())
-    throw std::runtime_error("checkpoint: trailing garbage after last tensor in " +
-                             path);
+  if (r.remaining() != 0)
+    throw std::runtime_error(
+        "checkpoint: trailing garbage after last tensor in " + path);
+  if (meta) *meta = parsed;
 }
 
 }  // namespace mfa::nn

@@ -2,27 +2,55 @@
 // simple self-describing binary file so a congestion model can be trained
 // once and reused across placement runs (or shipped with a release).
 //
+// Crash safety: every save is atomic — the image is serialised in memory,
+// written to `<path>.tmp`, fsynced, and renamed over `path` — so a crash at
+// any instant leaves either the previous checkpoint or a complete new one,
+// never a torn file. A CRC32 footer over the whole image catches silent
+// corruption (bit flips, short writes that somehow pass parsing) at load.
+//
 // Format (little-endian):
-//   magic "MFACKPT1"
+//   magic "MFACKPT2"
+//   u32 has_meta; if 1: i64 epoch, f32 learning_rate
 //   u64 parameter count
 //   per parameter: u32 name length, name bytes,
 //                  u32 rank, i64 dims[rank], f32 data[numel]
+//   u32 CRC32 of all preceding bytes
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "nn/module.h"
 
 namespace mfa::nn {
 
-/// Writes all parameters of `module` to `path`. Throws std::runtime_error on
-/// I/O failure.
+/// Training-state metadata embedded in a checkpoint, enabling resume: which
+/// epoch the snapshot closed and the learning rate in force (divergence
+/// rollback halves it, and the halved value must survive a restart).
+struct CheckpointMeta {
+  std::int64_t epoch = -1;
+  float learning_rate = 0.0f;
+};
+
+/// Writes all parameters of `module` to `path` atomically (temp + fsync +
+/// rename) with a CRC32 footer. Throws std::runtime_error on I/O failure.
 void save_checkpoint(const Module& module, const std::string& path);
 
-/// Loads parameters into `module`. Every parameter in the file must match an
-/// existing parameter by name and shape (strict), so architecture changes
-/// are caught instead of silently misloaded. Throws std::runtime_error on
-/// mismatch or I/O failure.
-void load_checkpoint(Module& module, const std::string& path);
+/// Same, embedding training metadata for resumable runs.
+void save_checkpoint(const Module& module, const std::string& path,
+                     const CheckpointMeta& meta);
+
+/// Loads parameters into `module`; fills `meta` when non-null (fields keep
+/// their defaults for checkpoints saved without metadata). Every parameter
+/// in the file must match an existing parameter by name and shape (strict),
+/// so architecture changes are caught instead of silently misloaded. The
+/// CRC32 footer is verified before any parsing. Throws std::runtime_error on
+/// corruption, mismatch, or I/O failure.
+void load_checkpoint(Module& module, const std::string& path,
+                     CheckpointMeta* meta = nullptr);
+
+/// CRC32 (IEEE 802.3, reflected) of `data[0..n)`, continuing from `crc`
+/// (pass 0 to start). Exposed for tests that hand-corrupt checkpoints.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc = 0);
 
 }  // namespace mfa::nn

@@ -1,9 +1,11 @@
 #include "place/placer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace mfa::place {
 
@@ -155,11 +157,32 @@ void GlobalPlacer::solve_potentials() {
 }
 
 std::int64_t GlobalPlacer::iterate(std::int64_t n) {
+  using Clock = std::chrono::steady_clock;
   const auto nobj = problem_->num_objects();
   std::vector<double> fx(static_cast<size_t>(nobj));
   std::vector<double> fy(static_cast<size_t>(nobj));
 
+  const auto t0 = Clock::now();
+  const auto budget_spent = [&] {
+    if (MFA_FAULT_POINT("place.budget")) return true;
+    if (options_.time_budget_seconds <= 0.0) return false;
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return budget_spent_seconds_ + elapsed > options_.time_budget_seconds;
+  };
+
+  std::int64_t done = 0;
   for (std::int64_t it = 0; it < n; ++it) {
+    if (budget_exhausted_ || budget_spent()) {
+      budget_exhausted_ = true;
+      // Close with a spreading pass so the partial result keeps macros
+      // column-aligned and density roughly legal.
+      if (done > 0) {
+        spread_macros();
+        spread_cells();
+      }
+      break;
+    }
     std::fill(fx.begin(), fx.end(), 0.0);
     std::fill(fy.begin(), fy.end(), 0.0);
 
@@ -251,13 +274,16 @@ std::int64_t GlobalPlacer::iterate(std::int64_t n) {
 
     // ---- lookahead spreading ----
     ++global_iter_;
+    ++done;
     const bool last = (it == n - 1);
     if (last || global_iter_ % options_.spread_interval == 0) {
       spread_macros();
       spread_cells();
     }
   }
-  return n;
+  budget_spent_seconds_ +=
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return done;
 }
 
 void GlobalPlacer::spread_macros() {
@@ -423,6 +449,8 @@ void GlobalPlacer::spread_cells() {
       const auto byi = std::clamp<std::int64_t>(
           static_cast<std::int64_t>(placement_.y[static_cast<size_t>(oi)] / bh_),
           0, by - 1);
+      MFA_DCHECK_BOUNDS(byi * bx + bxi, static_cast<std::int64_t>(nbins))
+          << " spread_cells bin index for object " << oi;
       const auto b = static_cast<size_t>(byi * bx + bxi);
       usage[b] += obj.area;
       members[b].push_back(oi);
@@ -467,6 +495,8 @@ void GlobalPlacer::spread_cells() {
           const double cys = (static_cast<double>(y) + 0.5) * bh_;
           if (!region->contains(cxs, cys)) return false;
         }
+        MFA_DCHECK_BOUNDS(y * bx + x, static_cast<std::int64_t>(nbins))
+            << " spread_cells candidate bin";
         const auto b = static_cast<size_t>(y * bx + x);
         return usage[b] + obj.area <= capacity_[r][b];
       };
@@ -484,6 +514,8 @@ void GlobalPlacer::spread_cells() {
         }
       }
       if (fx < 0) continue;  // nowhere legal; leave where it was
+      MFA_DCHECK_BOUNDS(fy * bx + fx, static_cast<std::int64_t>(nbins))
+          << " spread_cells re-home bin";
       const auto b = static_cast<size_t>(fy * bx + fx);
       usage[b] += obj.area;
       placement_.x[static_cast<size_t>(oi)] =
@@ -529,6 +561,7 @@ bool GlobalPlacer::run_until_overflow_target() {
     iterate(std::min(chunk, options_.max_iterations - done));
     done += chunk;
     if (overflow_target_met()) return true;
+    if (budget_exhausted_) break;  // best partial result
   }
   return overflow_target_met();
 }

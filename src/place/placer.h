@@ -40,6 +40,11 @@ struct PlacerOptions {
   double macro_overflow_target = 0.25;
   double cell_overflow_target = 0.15;
   std::uint64_t seed = 1;
+  /// Wall-clock budget across all iterate() calls (0 = unlimited). When it
+  /// runs out mid-call, iterate() finishes a final spreading pass, returns
+  /// the iterations actually run, and budget_exhausted() reports true — the
+  /// placement so far is the best partial result.
+  double time_budget_seconds = 0.0;
 };
 
 class GlobalPlacer {
@@ -72,6 +77,9 @@ class GlobalPlacer {
   const PlacerOptions& options() const { return options_; }
   /// Total iterations executed so far across all iterate() calls.
   std::int64_t total_iterations() const { return global_iter_; }
+  /// True once the wall-clock budget was exhausted (sticky; the placement is
+  /// the best partial result at that point).
+  bool budget_exhausted() const { return budget_exhausted_; }
 
  private:
   void compute_density_maps() const;
@@ -89,6 +97,8 @@ class GlobalPlacer {
   double density_weight_;
   double noise_scale_ = 1.0;  // decays once the overflow gate is met
   std::int64_t global_iter_ = 0;
+  double budget_spent_seconds_ = 0.0;  // accumulated across iterate() calls
+  bool budget_exhausted_ = false;
   // Per-resource bin maps. `usage_` is a cache of the density map for the
   // CURRENT placement_: it is recomputed from scratch by
   // compute_density_maps() and never carries information across calls, so

@@ -1,6 +1,7 @@
 #include "route/router.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -8,6 +9,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace mfa::route {
 namespace {
@@ -39,6 +41,7 @@ struct GlobalRouter::Impl {
       history;
   std::vector<Connection> connections;
   double pressure = 1.0;  // escalates during negotiation (PathFinder-style)
+  bool budget_exhausted = false;
 
   Impl(const netlist::Design& d, const fpga::DeviceGrid& dev,
        const RouterOptions& opt)
@@ -304,6 +307,7 @@ void GlobalRouter::initial_route(const std::vector<double>& cell_x,
       << cell_y.size() << ") must cover all " << im.design->cells.size()
       << " cells";
   im.grid.clear();
+  im.budget_exhausted = false;
   for (auto& per_class : im.history)
     for (auto& per_dir : per_class)
       std::fill(per_dir.begin(), per_dir.end(), 0.0);
@@ -378,14 +382,29 @@ void GlobalRouter::initial_route(const std::vector<double>& cell_x,
 }
 
 std::int64_t GlobalRouter::detailed_route() {
+  using Clock = std::chrono::steady_clock;
   auto& im = *impl_;
   im.pressure = 1.0;
+  im.budget_exhausted = false;
+  const auto t0 = Clock::now();
+  const auto budget_spent = [&] {
+    if (MFA_FAULT_POINT("route.budget")) return true;
+    if (im.options.time_budget_seconds <= 0.0) return false;
+    return std::chrono::duration<double>(Clock::now() - t0).count() >
+           im.options.time_budget_seconds;
+  };
   std::int64_t iterations = 0;
   std::int64_t best_overused = im.grid.overused_count(1.0);
   std::int64_t stalled = 0;
   while (iterations < im.options.max_detailed_iterations) {
     const auto overused = im.grid.overused_count(1.0);
     if (overused == 0) break;
+    if (budget_spent()) {
+      // Budget exhausted: keep the best routing found so far (every
+      // connection stays routed; only further negotiation is skipped).
+      im.budget_exhausted = true;
+      break;
+    }
     // Stall detection: if three rounds bring no improvement, the residual
     // congestion is unroutable at this placement — report the cap (the
     // contest's worst detailed-routing experience).
@@ -441,6 +460,8 @@ double GlobalRouter::routed_wirelength() const {
 std::int64_t GlobalRouter::num_connections() const {
   return static_cast<std::int64_t>(impl_->connections.size());
 }
+
+bool GlobalRouter::budget_exhausted() const { return impl_->budget_exhausted; }
 
 RouterOptions calibrated_router_options(const fpga::DeviceGrid& device,
                                         std::int64_t grid_width,

@@ -36,6 +36,10 @@ struct RouterOptions {
   /// History cost added per negotiation round to overused resources.
   double history_increment = 1.0;
   std::int64_t max_detailed_iterations = 24;
+  /// Wall-clock budget for detailed_route() (0 = unlimited). When it runs
+  /// out, negotiation stops early: the grid keeps the best routing found so
+  /// far and budget_exhausted() reports true.
+  double time_budget_seconds = 0.0;
   AnalysisOptions analysis;
 };
 
@@ -70,6 +74,10 @@ class GlobalRouter {
   /// Total Manhattan length of all routed connections, in tiles.
   double routed_wirelength() const;
   std::int64_t num_connections() const;
+
+  /// True when the last detailed_route() stopped on its wall-clock budget
+  /// rather than convergence; the congestion grid holds the partial result.
+  bool budget_exhausted() const;
 
  private:
   struct Impl;

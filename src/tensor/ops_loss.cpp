@@ -68,10 +68,7 @@ Tensor cross_entropy(const Tensor& logits, const Tensor& targets) {
       for (std::int64_t c = 0; c < classes; ++c)
         z += std::exp(lv[base + c * inner] - mx);
       const auto target = static_cast<std::int64_t>(tv[r * inner + k]);
-      if (target < 0 || target >= classes)
-        throw std::out_of_range(log::format(
-            "cross_entropy: target %lld outside [0, %lld)",
-            static_cast<long long>(target), static_cast<long long>(classes)));
+      MFA_CHECK_BOUNDS(target, classes) << " cross_entropy target class";
       loss -= (lv[base + target * inner] - mx) - std::log(z);
     }
   out.data()[0] = static_cast<float>(loss / static_cast<double>(count));

@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "tensor/ops.h"
 
 namespace mfa::ops {
@@ -19,7 +20,7 @@ struct Split {
 Split split_at(const Tensor& a, std::int64_t& dim) {
   const auto nd = a.dim();
   if (dim < 0) dim += nd;
-  if (dim < 0 || dim >= nd) throw std::out_of_range("reduce: bad dim");
+  MFA_CHECK_BOUNDS(dim, nd) << " reduce dim on " << shape_str(a.shape());
   Split s;
   for (std::int64_t d = 0; d < dim; ++d) s.outer *= a.size(d);
   s.d = a.size(dim);

@@ -169,8 +169,9 @@ Tensor narrow(const Tensor& a, std::int64_t dim, std::int64_t start,
               std::int64_t len) {
   const auto nd = a.dim();
   if (dim < 0) dim += nd;
-  if (start < 0 || len <= 0 || start + len > a.size(dim))
-    throw std::out_of_range("narrow: slice out of range");
+  MFA_CHECK(start >= 0 && len > 0 && start + len <= a.size(dim))
+      << " narrow: slice [" << start << ", " << start + len
+      << ") out of range for dim " << dim << " of " << shape_str(a.shape());
   Shape out_shape = a.shape();
   out_shape[static_cast<size_t>(dim)] = len;
   std::int64_t outer = 1, inner = 1;

@@ -1,11 +1,15 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/log.h"
 
 namespace mfa {
@@ -92,11 +96,7 @@ std::int64_t Tensor::dim() const {
 std::int64_t Tensor::size(std::int64_t d) const {
   const auto nd = dim();
   if (d < 0) d += nd;
-  if (d < 0 || d >= nd) {
-    throw std::out_of_range(log::format("size(%lld) on %s",
-                                        static_cast<long long>(d),
-                                        shape_str(shape()).c_str()));
-  }
+  MFA_CHECK_BOUNDS(d, nd) << " size() dim on " << shape_str(shape());
   return impl_->shape[static_cast<size_t>(d)];
 }
 
@@ -120,12 +120,14 @@ float Tensor::item() const {
 
 namespace {
 size_t flat_index(const Shape& shape, std::initializer_list<std::int64_t> idx) {
-  if (idx.size() != shape.size())
-    throw std::out_of_range("index rank mismatch");
+  MFA_CHECK_EQ(static_cast<std::int64_t>(idx.size()),
+               static_cast<std::int64_t>(shape.size()))
+      << " index rank mismatch on " << shape_str(shape);
   size_t flat = 0;
   size_t d = 0;
   for (const auto i : idx) {
-    if (i < 0 || i >= shape[d]) throw std::out_of_range("index out of range");
+    MFA_CHECK_BOUNDS(i, shape[d])
+        << " index in dim " << d << " of " << shape_str(shape);
     flat = flat * static_cast<size_t>(shape[d]) + static_cast<size_t>(i);
     ++d;
   }
@@ -196,24 +198,47 @@ void Tensor::backward() {
   impl_->ensure_grad();
   impl_->grad[0] = 1.0f;
   const bool scan_grads = check::finite_grad_checks_enabled();
+  // Dirty-set NaN/Inf guard: every tensor's gradient is scanned exactly ONCE,
+  // when the reverse-topo walk reaches it — at that point all of its
+  // consumers have already run their backward_fn, so the gradient is final.
+  // (The previous scheme re-scanned each parent after every consumer,
+  // costing O(tape x fan-in) full passes instead of O(total grad elements).)
+  // `last_writer` remembers which tape node last scattered into each tensor,
+  // so a failure is attributed to the op that produced the bad value.
+  std::unordered_map<detail::TensorImpl*, std::int64_t> last_writer;
   std::int64_t tape_pos = 0;
   for (auto it = order.rbegin(); it != order.rend(); ++it, ++tape_pos) {
-    if (!(*it)->backward_fn) continue;
-    (*it)->backward_fn();
-    if (!scan_grads) continue;
-    // Debug-flagged NaN/Inf guard: a non-finite gradient scattered into any
-    // parent fails here, at the op that produced it, instead of silently
-    // corrupting every upstream parameter update.
-    for (const auto& parent : (*it)->parents) {
-      if (parent->grad.empty()) continue;
-      const std::string what = log::format(
-          "backward() at tape node #%lld into parent of shape %s",
-          static_cast<long long>(tape_pos),
-          shape_str(parent->shape).c_str());
-      check::check_all_finite(parent->grad.data(),
-                              static_cast<std::int64_t>(parent->grad.size()),
-                              what.c_str());
+    detail::TensorImpl* node = *it;
+    if (scan_grads && !node->grad.empty()) {
+      bool ok = true;
+      for (const float v : node->grad)
+        if (!std::isfinite(v)) {
+          ok = false;
+          break;
+        }
+      if (!ok) {
+        const auto writer = last_writer.find(node);
+        const std::string what = log::format(
+            "backward() gradient of tensor shape %s (written by tape node "
+            "#%lld)",
+            shape_str(node->shape).c_str(),
+            writer == last_writer.end()
+                ? static_cast<long long>(-1)
+                : static_cast<long long>(writer->second));
+        check::check_all_finite(node->grad.data(),
+                                static_cast<std::int64_t>(node->grad.size()),
+                                what.c_str());
+      }
     }
+    if (!node->backward_fn) continue;
+    node->backward_fn();
+    if (MFA_FAULT_POINT("tensor.nan_grad") && !node->parents.empty()) {
+      auto& pg = node->parents.front()->grad;
+      if (!pg.empty()) pg[0] = std::numeric_limits<float>::quiet_NaN();
+    }
+    if (scan_grads)
+      for (const auto& parent : node->parents)
+        last_writer[parent.get()] = tape_pos;
   }
 }
 

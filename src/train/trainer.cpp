@@ -1,13 +1,22 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 
+#include "common/check.h"
+#include "common/fault.h"
 #include "common/log.h"
 #include "nn/optim.h"
 #include "tensor/ops.h"
 
 namespace mfa::train {
+
+namespace fs = std::filesystem;
 
 void stack_batch(const std::vector<Sample>& samples,
                  const std::vector<size_t>& order, size_t i0, size_t i1,
@@ -28,47 +37,227 @@ void stack_batch(const std::vector<Sample>& samples,
   }
 }
 
+std::string checkpoint_path(const std::string& dir, std::int64_t epoch) {
+  return (fs::path(dir) /
+          log::format("checkpoint-%05lld.bin", static_cast<long long>(epoch)))
+      .string();
+}
+
+std::string resume_from(nn::Module& module, const std::string& dir,
+                        nn::CheckpointMeta* meta) {
+  std::error_code ec;
+  if (dir.empty() || !fs::is_directory(dir, ec)) return "";
+  // Collect candidates newest-first by epoch number in the filename.
+  std::vector<std::pair<std::int64_t, std::string>> candidates;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    // checkpoint-NNNNN.bin; anything else (including .tmp leftovers from an
+    // interrupted atomic save) is not a valid snapshot.
+    constexpr const char* kPrefix = "checkpoint-";
+    constexpr const char* kSuffix = ".bin";
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    if (name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix)) continue;
+    if (name.compare(name.size() - std::strlen(kSuffix), std::strlen(kSuffix),
+                     kSuffix) != 0)
+      continue;
+    const std::string digits = name.substr(
+        std::strlen(kPrefix),
+        name.size() - std::strlen(kPrefix) - std::strlen(kSuffix));
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    candidates.emplace_back(std::stoll(digits), entry.path().string());
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [epoch, path] : candidates) {
+    try {
+      nn::CheckpointMeta parsed;
+      nn::load_checkpoint(module, path, &parsed);
+      if (meta) *meta = parsed;
+      return path;
+    } catch (const std::exception& e) {
+      log::warn("resume_from: rejecting %s (%s)", path.c_str(), e.what());
+    }
+  }
+  return "";
+}
+
+namespace {
+
+/// Deterministic per-epoch shuffle stream: depends only on (seed, epoch), so
+/// a resumed run replays the batch order of the uninterrupted run.
+Rng epoch_rng(std::uint64_t seed, std::int64_t epoch) {
+  return Rng(seed).fork(static_cast<std::uint64_t>(epoch) + 1);
+}
+
+void shuffle(std::vector<size_t>& order, Rng& rng) {
+  for (auto i = static_cast<std::int64_t>(order.size()) - 1; i > 0; --i)
+    std::swap(order[static_cast<size_t>(i)],
+              order[static_cast<size_t>(rng.uniform_int(0, i))]);
+}
+
+}  // namespace
+
 double Trainer::fit(models::CongestionModel& model,
                     const std::vector<Sample>& train_set,
                     const TrainOptions& options) {
-  if (train_set.empty()) return 0.0;
+  return fit_resumable(model, train_set, options).final_loss;
+}
+
+FitReport Trainer::fit_resumable(models::CongestionModel& model,
+                                 const std::vector<Sample>& train_set,
+                                 const TrainOptions& options) {
+  FitReport report;
+  report.final_learning_rate = options.learning_rate;
+  if (train_set.empty()) return report;
   auto& net = model.network();
   net.train(true);
-  nn::Adam optimizer(net.parameters(), options.learning_rate);
-  Rng rng(options.seed);
 
-  std::vector<size_t> order(train_set.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-
-  double epoch_loss = 0.0;
-  for (std::int64_t epoch = 0; epoch < options.epochs; ++epoch) {
-    // Deterministic shuffle.
-    for (auto i = static_cast<std::int64_t>(order.size()) - 1; i > 0; --i)
-      std::swap(order[static_cast<size_t>(i)],
-                order[static_cast<size_t>(rng.uniform_int(0, i))]);
-    epoch_loss = 0.0;
-    std::int64_t batches = 0;
-    for (size_t i0 = 0; i0 < order.size();
-         i0 += static_cast<size_t>(options.batch_size)) {
-      const size_t i1 = std::min(order.size(),
-                                 i0 + static_cast<size_t>(options.batch_size));
-      Tensor features, labels;
-      stack_batch(train_set, order, i0, i1, features, labels);
-      optimizer.zero_grad();
-      Tensor logits = model.forward(features);
-      Tensor loss = ops::cross_entropy(logits, labels);
-      loss.backward();
-      optimizer.step();
-      epoch_loss += loss.item();
-      ++batches;
+  float lr = options.learning_rate;
+  std::int64_t start_epoch = 0;
+  if (!options.checkpoint_dir.empty()) {
+    fs::create_directories(options.checkpoint_dir);
+    if (options.resume) {
+      nn::CheckpointMeta meta;
+      const auto loaded = resume_from(net, options.checkpoint_dir, &meta);
+      if (!loaded.empty()) {
+        start_epoch = meta.epoch + 1;
+        if (meta.learning_rate > 0.0f) lr = meta.learning_rate;
+        log::info("%s resuming from %s (epoch %lld, lr %g)", model.name(),
+                  loaded.c_str(), static_cast<long long>(meta.epoch),
+                  static_cast<double>(lr));
+      }
     }
-    epoch_loss /= std::max<std::int64_t>(1, batches);
+  }
+  report.start_epoch = start_epoch;
+
+  auto params = net.parameters();
+  // Last-good snapshot for divergence rollback: the parameters after the
+  // most recent healthy epoch (initially the starting weights).
+  std::vector<std::vector<float>> good;
+  double good_loss = 0.0;
+  bool have_good_loss = false;
+  const auto snapshot = [&] {
+    good.clear();
+    good.reserve(params.size());
+    for (const auto& p : params) good.push_back(p.to_vector());
+  };
+  const auto restore = [&] {
+    for (size_t i = 0; i < params.size(); ++i) {
+      std::copy(good[i].begin(), good[i].end(), params[i].data());
+      params[i].zero_grad();
+    }
+  };
+  snapshot();
+
+  auto optimizer = std::make_unique<nn::Adam>(params, lr);
+  std::vector<size_t> order(train_set.size());
+
+  double final_loss = 0.0;
+  std::int64_t epoch = start_epoch;
+  while (epoch < options.epochs) {
+    order.resize(train_set.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    Rng rng = epoch_rng(options.seed, epoch);
+    shuffle(order, rng);
+
+    double epoch_loss = 0.0;
+    std::int64_t batches = 0;
+    bool failed = false;
+    std::string why;
+    try {
+      for (size_t i0 = 0; i0 < order.size();
+           i0 += static_cast<size_t>(options.batch_size)) {
+        if (MFA_FAULT_POINT("trainer.crash"))
+          throw std::runtime_error("trainer: fault-injected crash mid-epoch");
+        const size_t i1 = std::min(
+            order.size(), i0 + static_cast<size_t>(options.batch_size));
+        Tensor features, labels;
+        stack_batch(train_set, order, i0, i1, features, labels);
+        optimizer->zero_grad();
+        Tensor logits = model.forward(features);
+        Tensor loss = ops::cross_entropy(logits, labels);
+        const double batch_loss = loss.item();
+        if (!std::isfinite(batch_loss)) {
+          failed = true;
+          why = "non-finite batch loss";
+          break;
+        }
+        loss.backward();
+        optimizer->step();
+        epoch_loss += batch_loss;
+        ++batches;
+      }
+    } catch (const check::CheckError& e) {
+      // The numeric stack detected a broken invariant (e.g. the finite-grad
+      // guard caught a NaN gradient): treat it like a diverged epoch.
+      failed = true;
+      why = e.what();
+    }
+    if (!failed) {
+      epoch_loss /= static_cast<double>(std::max<std::int64_t>(1, batches));
+      if (!std::isfinite(epoch_loss)) {
+        failed = true;
+        why = "non-finite epoch loss";
+      } else if (have_good_loss &&
+                 epoch_loss > options.divergence_factor * good_loss) {
+        failed = true;
+        why = log::format("loss spiked to %.4g (last good %.4g)", epoch_loss,
+                          good_loss);
+      }
+    }
+
+    if (failed) {
+      restore();
+      if (report.rollbacks >= options.max_rollbacks) {
+        log::error("%s epoch %lld diverged (%s); rollback budget exhausted, "
+                   "keeping last good parameters",
+                   model.name(), static_cast<long long>(epoch + 1),
+                   why.c_str());
+        report.diverged = true;
+        break;
+      }
+      ++report.rollbacks;
+      lr *= 0.5f;
+      optimizer = std::make_unique<nn::Adam>(params, lr);
+      log::warn("%s epoch %lld diverged (%s); rolled back, lr -> %g "
+                "(retry %lld/%lld)",
+                model.name(), static_cast<long long>(epoch + 1), why.c_str(),
+                static_cast<double>(lr),
+                static_cast<long long>(report.rollbacks),
+                static_cast<long long>(options.max_rollbacks));
+      continue;  // retry the same epoch
+    }
+
+    snapshot();
+    good_loss = epoch_loss;
+    have_good_loss = true;
+    final_loss = epoch_loss;
+    ++report.epochs_run;
     if (options.verbose)
       log::info("%s epoch %lld/%lld loss %.4f", model.name(),
                 static_cast<long long>(epoch + 1),
                 static_cast<long long>(options.epochs), epoch_loss);
+    if (!options.checkpoint_dir.empty() &&
+        ((epoch + 1) % std::max<std::int64_t>(1, options.checkpoint_interval)
+             == 0 ||
+         epoch == options.epochs - 1)) {
+      nn::CheckpointMeta meta;
+      meta.epoch = epoch;
+      meta.learning_rate = lr;
+      nn::save_checkpoint(net, checkpoint_path(options.checkpoint_dir, epoch),
+                          meta);
+      ++report.checkpoints_written;
+    }
+    ++epoch;
   }
-  return epoch_loss;
+  report.final_loss = have_good_loss ? (report.diverged ? good_loss
+                                                        : final_loss)
+                                     : final_loss;
+  report.final_learning_rate = lr;
+  return report;
 }
 
 EvalResult Trainer::evaluate(models::CongestionModel& model,

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
+#include "common/fault.h"
 #include "models/congestion_model.h"
 #include "nn/layers.h"
 #include "tensor/ops.h"
@@ -128,6 +130,108 @@ TEST(Checkpoint, RejectsTruncationAtEveryLength) {
   Linear fresh(4, 3, rng);
   EXPECT_NO_THROW(load_checkpoint(fresh, trunc_path));
   std::remove(trunc_path.c_str());
+}
+
+TEST(Checkpoint, MetaRoundTrips) {
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  const auto path = temp_path("meta");
+  CheckpointMeta meta;
+  meta.epoch = 17;
+  meta.learning_rate = 2.5e-4f;
+  save_checkpoint(a, path, meta);
+  Linear b(4, 3, rng);
+  CheckpointMeta loaded;
+  load_checkpoint(b, path, &loaded);
+  EXPECT_EQ(loaded.epoch, 17);
+  EXPECT_FLOAT_EQ(loaded.learning_rate, 2.5e-4f);
+  // A checkpoint saved without metadata reports the defaults.
+  save_checkpoint(a, path);
+  CheckpointMeta none;
+  load_checkpoint(b, path, &none);
+  EXPECT_EQ(none.epoch, -1);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, AtomicSaveLeavesNoTempFile) {
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  const auto path = temp_path("atomic");
+  save_checkpoint(a, path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CrcRejectsEverySingleBitFlip) {
+  Rng rng(1);
+  Linear a(2, 2, rng);
+  const auto path = temp_path("bitflip");
+  save_checkpoint(a, path);
+  std::string bytes;
+  {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+      bytes.append(buf, got);
+    std::fclose(f);
+  }
+  // Flip one bit per byte position and require a load failure each time —
+  // this is exactly the torn-write / bit-rot scenario the footer exists for.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x01);
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(corrupt.data(), 1, corrupt.size(), f);
+    std::fclose(f);
+    Linear fresh(2, 2, rng);
+    EXPECT_THROW(load_checkpoint(fresh, path), std::runtime_error)
+        << "bit flip at byte " << i << " went undetected";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TornWriteFaultIsCaughtAtLoad) {
+  if (!common::FaultInjector::compiled_in())
+    GTEST_SKIP() << "fault injection compiled out (Release build)";
+  common::FaultInjector::instance().reset();
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  const auto path = temp_path("torn");
+  common::FaultInjector::instance().arm_once("checkpoint.torn_write");
+  save_checkpoint(a, path);
+  common::FaultInjector::instance().reset();
+  Linear fresh(4, 3, rng);
+  EXPECT_THROW(load_checkpoint(fresh, path), std::runtime_error);
+  // The next (un-faulted) save repairs the file in place.
+  save_checkpoint(a, path);
+  EXPECT_NO_THROW(load_checkpoint(fresh, path));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CrashBeforeRenamePreservesPreviousFile) {
+  if (!common::FaultInjector::compiled_in())
+    GTEST_SKIP() << "fault injection compiled out (Release build)";
+  common::FaultInjector::instance().reset();
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  const auto path = temp_path("crash");
+  save_checkpoint(a, path);  // good version on disk
+  const auto good = a.parameters()[0].to_vector();
+  // Mutate the weights, then crash during the next save: the destination
+  // must still hold the previous complete snapshot.
+  a.parameters()[0].fill_(123.0f);
+  common::FaultInjector::instance().arm_once("checkpoint.crash_before_rename");
+  EXPECT_THROW(save_checkpoint(a, path), std::runtime_error);
+  common::FaultInjector::instance().reset();
+  Linear b(4, 3, rng);
+  EXPECT_NO_THROW(load_checkpoint(b, path));
+  EXPECT_EQ(b.parameters()[0].to_vector(), good);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
 }
 
 TEST(Checkpoint, RejectsTrailingGarbage) {

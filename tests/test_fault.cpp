@@ -1,0 +1,133 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace mfa::common {
+namespace {
+
+/// Resets the singleton around every test so armed points never leak.
+class Fault : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+  FaultInjector& fi() { return FaultInjector::instance(); }
+};
+
+TEST_F(Fault, UnarmedPointNeverFiresAndRecordsNothing) {
+  for (int i = 0; i < 5; ++i)
+    EXPECT_FALSE(fi().should_fire("test.unarmed"));
+  EXPECT_EQ(fi().hit_count("test.unarmed"), 0);
+  EXPECT_EQ(fi().fire_count("test.unarmed"), 0);
+  EXPECT_TRUE(fi().stats().empty());
+}
+
+TEST_F(Fault, OnceFiresExactlyOnFirstHit) {
+  fi().arm_once("test.once");
+  EXPECT_TRUE(fi().should_fire("test.once"));
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(fi().should_fire("test.once"));
+  EXPECT_EQ(fi().hit_count("test.once"), 11);
+  EXPECT_EQ(fi().fire_count("test.once"), 1);
+}
+
+TEST_F(Fault, NthFiresExactlyOnNthHit) {
+  fi().arm_nth("test.nth", 3);
+  EXPECT_FALSE(fi().should_fire("test.nth"));
+  EXPECT_FALSE(fi().should_fire("test.nth"));
+  EXPECT_TRUE(fi().should_fire("test.nth"));
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(fi().should_fire("test.nth"));
+  EXPECT_EQ(fi().fire_count("test.nth"), 1);
+}
+
+TEST_F(Fault, AlwaysFiresEveryHitUntilDisarmed) {
+  fi().arm_always("test.always");
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(fi().should_fire("test.always"));
+  fi().disarm("test.always");
+  EXPECT_FALSE(fi().should_fire("test.always"));
+  EXPECT_EQ(fi().fire_count("test.always"), 4);
+}
+
+TEST_F(Fault, ProbabilityPatternIsDeterministicForAFixedSeed) {
+  const auto pattern = [&](std::uint64_t seed) {
+    fi().reset();
+    fi().arm_probability("test.prob", 0.3, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(fi().should_fire("test.prob"));
+    return fired;
+  };
+  const auto a = pattern(42);
+  const auto b = pattern(42);
+  EXPECT_EQ(a, b) << "same seed must reproduce the exact fire pattern";
+  const auto c = pattern(43);
+  EXPECT_NE(a, c) << "different seeds should give different patterns";
+  // Roughly the requested rate (0.3 over 200 draws; generous bounds).
+  const auto fires = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 30);
+  EXPECT_LT(fires, 90);
+}
+
+TEST_F(Fault, ProbabilityPatternIsIndependentOfOtherPoints) {
+  // Interleaving hits on an unrelated point must not shift the pattern:
+  // the trigger hashes (seed, own hit index), not a shared stream.
+  fi().arm_probability("test.prob", 0.5, 7);
+  std::vector<bool> alone;
+  for (int i = 0; i < 64; ++i) alone.push_back(fi().should_fire("test.prob"));
+  fi().reset();
+  fi().arm_probability("test.prob", 0.5, 7);
+  fi().arm_always("test.noise");
+  std::vector<bool> interleaved;
+  for (int i = 0; i < 64; ++i) {
+    (void)fi().should_fire("test.noise");
+    interleaved.push_back(fi().should_fire("test.prob"));
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST_F(Fault, ProbabilityExtremes) {
+  fi().arm_probability("test.never", 0.0, 1);
+  fi().arm_probability("test.surely", 1.0, 1);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(fi().should_fire("test.never"));
+    EXPECT_TRUE(fi().should_fire("test.surely"));
+  }
+}
+
+TEST_F(Fault, ResetClearsEverything) {
+  fi().arm_always("test.a");
+  (void)fi().should_fire("test.a");
+  fi().reset();
+  EXPECT_FALSE(fi().should_fire("test.a"));
+  EXPECT_EQ(fi().hit_count("test.a"), 0);
+  EXPECT_TRUE(fi().stats().empty());
+}
+
+TEST_F(Fault, StatsReportArmedPoints) {
+  fi().arm_nth("test.s", 2);
+  (void)fi().should_fire("test.s");
+  (void)fi().should_fire("test.s");
+  const auto stats = fi().stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "test.s");
+  EXPECT_EQ(stats[0].hits, 2);
+  EXPECT_EQ(stats[0].fires, 1);
+}
+
+TEST_F(Fault, MacroRespectsCompiledInMode) {
+  // In fault-enabled builds the macro consults the registry; in Release it
+  // is the literal `false` and the registry never sees the hit.
+  fi().arm_always("test.macro");
+  const bool fired = MFA_FAULT_POINT("test.macro");
+  if (FaultInjector::compiled_in()) {
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(fi().hit_count("test.macro"), 1);
+  } else {
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(fi().hit_count("test.macro"), 0);
+  }
+}
+
+}  // namespace
+}  // namespace mfa::common

@@ -1,13 +1,35 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "common/check.h"
+#include "common/fault.h"
 #include "flow/flow.h"
 #include "netlist/generator.h"
+#include "nn/layers.h"
 
 namespace mfa::flow {
 namespace {
 
 using fpga::DeviceGrid;
 using netlist::Design;
+
+/// A predictor that always blows up with an invariant failure, standing in
+/// for a model whose numeric stack tripped a CheckError mid-inference.
+class BrokenPredictor : public models::CongestionModel {
+ public:
+  BrokenPredictor()
+      : models::CongestionModel(models::ModelConfig{}), rng_(1), net_(1, 1, rng_) {}
+  const char* name() const override { return "broken"; }
+  nn::Module& network() override { return net_; }
+  Tensor forward(const Tensor&) override {
+    throw check::CheckError("broken predictor: synthetic invariant failure");
+  }
+
+ private:
+  Rng rng_;
+  nn::Linear net_;
+};
 
 DeviceGrid test_device() { return DeviceGrid::make_xcvu3p_like(60, 40); }
 
@@ -117,6 +139,78 @@ TEST(Flow, InflationTargetsCongestion) {
   RoutabilityDrivenPlacer flow(design, device, fast_options());
   const FlowResult result = flow.run(Strategy::Seu);
   EXPECT_GT(result.inflated_objects, 0);
+}
+
+TEST(Flow, BrokenPredictorFallsBackToAnalyticEstimate) {
+  // A predictor that dies mid-inference must not kill the flow: the round
+  // degrades to the analytic quantile estimate and the run completes with
+  // valid scores plus an incident record.
+  const auto device = test_device();
+  const auto design = small_design(device);
+  RoutabilityDrivenPlacer flow(design, device, fast_options());
+  BrokenPredictor model;
+  const FlowResult result = flow.run(Strategy::Ours, &model);
+  EXPECT_GE(result.s_ir, 1.0);
+  EXPECT_GE(result.s_dr, 5.0);
+  EXPECT_GT(result.s_score, 0.0);
+  EXPECT_GT(result.routed_wirelength, 0.0);
+  EXPECT_GT(result.inflated_objects, 0);  // the analytic fallback inflates
+  ASSERT_EQ(result.incidents.size(), 1u);
+  EXPECT_EQ(result.incidents[0].stage, "predict");
+  EXPECT_EQ(result.incidents[0].round, 0);
+  EXPECT_NE(result.incidents[0].detail.find("analytic fallback"),
+            std::string::npos);
+}
+
+TEST(Flow, PredictorNanFaultFallsBackToAnalyticEstimate) {
+  if (!common::FaultInjector::compiled_in())
+    GTEST_SKIP() << "fault injection compiled out (Release build)";
+  auto& fi = common::FaultInjector::instance();
+  fi.reset();
+  const auto device = test_device();
+  const auto design = small_design(device);
+  RoutabilityDrivenPlacer flow(design, device, fast_options());
+  models::ModelConfig config;
+  config.grid = 64;
+  config.base_channels = 4;
+  config.transformer_layers = 1;
+  auto model = models::make_model("ours", config);
+  fi.arm_always("flow.predictor_nan");
+  const FlowResult result = flow.run(Strategy::Ours, model.get());
+  fi.reset();
+  EXPECT_GE(result.s_r, 5.0);
+  ASSERT_EQ(result.incidents.size(), 1u);
+  EXPECT_EQ(result.incidents[0].stage, "predict");
+  EXPECT_NE(result.incidents[0].detail.find("non-finite"), std::string::npos);
+}
+
+TEST(Flow, CleanRunHasNoIncidents) {
+  const auto device = test_device();
+  const auto design = small_design(device);
+  RoutabilityDrivenPlacer flow(design, device, fast_options());
+  const FlowResult result = flow.run(Strategy::Utda);
+  EXPECT_TRUE(result.incidents.empty());
+  EXPECT_FALSE(result.budget_exhausted);
+}
+
+TEST(Flow, BudgetExhaustionIsReportedWithPartialScores) {
+  const auto device = test_device();
+  const auto design = small_design(device);
+  FlowOptions options = fast_options();
+  options.placer.time_budget_seconds = 1e-6;
+  options.router.time_budget_seconds = 1e-9;
+  RoutabilityDrivenPlacer flow(design, device, options);
+  const FlowResult result = flow.run(Strategy::Utda);
+  // The flow still completes end-to-end and produces scores for the best
+  // partial placement/routing it had time for.
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_GE(result.incidents.size(), 1u);
+  for (const auto& incident : result.incidents)
+    EXPECT_TRUE(incident.stage == "place" || incident.stage == "route");
+  EXPECT_GE(result.s_ir, 1.0);
+  EXPECT_GE(result.s_dr, 5.0);
+  EXPECT_GT(result.routed_wirelength, 0.0);
+  EXPECT_TRUE(std::isfinite(result.s_score));
 }
 
 TEST(Flow, DeterministicForFixedOptions) {

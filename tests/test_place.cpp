@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/fault.h"
 #include "netlist/generator.h"
 #include "place/inflation.h"
 #include "place/legalizer.h"
@@ -142,6 +143,60 @@ TEST(Placer, RunUntilOverflowTargetMeetsGate) {
   const auto of = placer.overflow();
   EXPECT_LT(of[static_cast<size_t>(Resource::Dsp)], 0.25);
   EXPECT_LT(of[static_cast<size_t>(Resource::Lut)], 0.15);
+}
+
+TEST(Placer, NoBudgetRunsAllIterations) {
+  const auto device = test_device();
+  const auto design = small_design(device);
+  PlacementProblem problem(design, device);
+  GlobalPlacer placer(problem, {});  // time_budget_seconds = 0: unlimited
+  placer.init_random();
+  EXPECT_EQ(placer.iterate(5), 5);
+  EXPECT_FALSE(placer.budget_exhausted());
+}
+
+TEST(Placer, WallClockBudgetStopsEarlyWithPartialResult) {
+  const auto device = test_device();
+  const auto design = small_design(device);
+  PlacementProblem problem(design, device);
+  PlacerOptions options;
+  options.time_budget_seconds = 1e-6;  // exhausted almost immediately
+  options.max_iterations = 200;
+  GlobalPlacer placer(problem, options);
+  placer.init_random();
+  const auto done = placer.iterate(50);
+  EXPECT_LT(done, 50);
+  EXPECT_TRUE(placer.budget_exhausted());
+  // The flag is sticky: further calls return without iterating.
+  EXPECT_EQ(placer.iterate(10), 0);
+  // The partial placement is still usable (everything in clamp bounds; the
+  // clamp allows up to 0.75 sites of overhang for sub-site-height objects).
+  const auto& p = placer.placement();
+  for (size_t oi = 0; oi < problem.objects.size(); ++oi) {
+    EXPECT_GE(p.x[oi], 0.0);
+    EXPECT_LE(p.x[oi], static_cast<double>(device.cols()));
+    EXPECT_GE(p.y[oi], 0.0);
+    EXPECT_LE(p.y[oi], static_cast<double>(device.rows()) + 0.75);
+  }
+}
+
+TEST(Placer, BudgetFaultForcesDeterministicExhaustion) {
+  if (!common::FaultInjector::compiled_in())
+    GTEST_SKIP() << "fault injection compiled out (Release build)";
+  auto& fi = common::FaultInjector::instance();
+  fi.reset();
+  const auto device = test_device();
+  const auto design = small_design(device);
+  PlacementProblem problem(design, device);
+  GlobalPlacer placer(problem, {});
+  placer.init_random();
+  fi.arm_always("place.budget");
+  EXPECT_EQ(placer.iterate(10), 0);
+  EXPECT_TRUE(placer.budget_exhausted());
+  fi.reset();
+  // Sticky even after the fault is disarmed: the caller decided the run is
+  // out of budget, so the best partial result stands.
+  EXPECT_EQ(placer.iterate(10), 0);
 }
 
 TEST(Legalizer, ProducesLegalMacroPlacement) {

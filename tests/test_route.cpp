@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/fault.h"
 #include "netlist/generator.h"
 #include "place/placer.h"
 #include "route/router.h"
@@ -179,6 +180,67 @@ TEST(Router, CleanPlacementNeedsNoDetailedIterations) {
   router.initial_route(cx, cy);
   if (router.congestion().overused_count() == 0)
     EXPECT_EQ(router.detailed_route(), 0);
+}
+
+TEST(Router, WallClockBudgetStopsNegotiationEarly) {
+  // Same hopeless clumped placement as above, but with a tiny wall-clock
+  // budget: the router must hand back its best partial routing instead of
+  // burning all 8 negotiation rounds.
+  const auto device = test_device();
+  const auto design = tiny_design(device, 0.6);
+  RouterOptions options;
+  options.max_detailed_iterations = 8;
+  options.time_budget_seconds = 1e-9;
+  GlobalRouter router(design, device, options);
+  Rng rng(3);
+  std::vector<double> cx, cy;
+  random_positions(design, device, rng, cx, cy);
+  for (auto& v : cx) v = 5.0 + 0.15 * v;
+  for (auto& v : cy) v = 5.0 + 0.15 * v;
+  router.initial_route(cx, cy);
+  ASSERT_GT(router.congestion().overused_count(), 0);
+  const auto iterations = router.detailed_route();
+  EXPECT_LT(iterations, 8);
+  EXPECT_TRUE(router.budget_exhausted());
+  // Every connection is still routed: only further negotiation was skipped.
+  EXPECT_GT(router.num_connections(), 0);
+  EXPECT_GT(router.routed_wirelength(), 0.0);
+}
+
+TEST(Router, NoBudgetNeverReportsExhaustion) {
+  const auto device = test_device();
+  const auto design = tiny_design(device, 0.25);
+  GlobalRouter router(design, device);  // time_budget_seconds = 0: unlimited
+  Rng rng(4);
+  std::vector<double> cx, cy;
+  random_positions(design, device, rng, cx, cy);
+  router.initial_route(cx, cy);
+  router.detailed_route();
+  EXPECT_FALSE(router.budget_exhausted());
+}
+
+TEST(Router, BudgetFaultStopsNegotiationDeterministically) {
+  if (!common::FaultInjector::compiled_in())
+    GTEST_SKIP() << "fault injection compiled out (Release build)";
+  auto& fi = common::FaultInjector::instance();
+  fi.reset();
+  const auto device = test_device();
+  const auto design = tiny_design(device, 0.6);
+  GlobalRouter router(design, device);
+  Rng rng(3);
+  std::vector<double> cx, cy;
+  random_positions(design, device, rng, cx, cy);
+  for (auto& v : cx) v = 5.0 + 0.15 * v;
+  for (auto& v : cy) v = 5.0 + 0.15 * v;
+  router.initial_route(cx, cy);
+  ASSERT_GT(router.congestion().overused_count(), 0);
+  fi.arm_always("route.budget");
+  EXPECT_EQ(router.detailed_route(), 0);
+  EXPECT_TRUE(router.budget_exhausted());
+  fi.reset();
+  // A fresh initial_route clears the flag for the next attempt.
+  router.initial_route(cx, cy);
+  EXPECT_FALSE(router.budget_exhausted());
 }
 
 TEST(Router, PeakUtilisationHigherWhenClumped) {

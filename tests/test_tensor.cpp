@@ -6,6 +6,7 @@
 
 #include <stdexcept>
 
+#include "common/check.h"
 #include "tensor/ops.h"
 
 namespace mfa {
@@ -36,7 +37,7 @@ TEST(Tensor, ShapeAccessors) {
   EXPECT_EQ(t.size(0), 2);
   EXPECT_EQ(t.size(-1), 4);
   EXPECT_EQ(t.numel(), 24);
-  EXPECT_THROW(t.size(3), std::out_of_range);
+  EXPECT_THROW(t.size(3), mfa::check::CheckError);
 }
 
 TEST(Tensor, AtAndSetRoundTrip) {
@@ -44,7 +45,7 @@ TEST(Tensor, AtAndSetRoundTrip) {
   t.set({1, 2}, 7.0f);
   EXPECT_EQ(t.at({1, 2}), 7.0f);
   EXPECT_EQ(t.at({0, 0}), 0.0f);
-  EXPECT_THROW(t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW(t.at({2, 0}), mfa::check::CheckError);
 }
 
 TEST(Tensor, ItemRequiresScalar) {
@@ -159,7 +160,7 @@ TEST(TensorOps, NarrowSelectsSlice) {
   Tensor s = narrow(a, 1, 1, 2);
   ASSERT_EQ(s.shape(), (Shape{2, 2}));
   EXPECT_EQ(s.to_vector(), (std::vector<float>{2, 3, 5, 6}));
-  EXPECT_THROW(narrow(a, 1, 2, 2), std::out_of_range);
+  EXPECT_THROW(narrow(a, 1, 2, 2), mfa::check::CheckError);
 }
 
 TEST(TensorOps, Reductions) {
@@ -266,7 +267,7 @@ TEST(TensorOps, CrossEntropyUniformIsLogC) {
 TEST(TensorOps, CrossEntropyRejectsBadTarget) {
   Tensor logits = Tensor::zeros({1, 4});
   Tensor targets = Tensor::from_data({1}, {4});
-  EXPECT_THROW(cross_entropy(logits, targets), std::out_of_range);
+  EXPECT_THROW(cross_entropy(logits, targets), mfa::check::CheckError);
 }
 
 TEST(TensorOps, MseLossZeroWhenEqual) {

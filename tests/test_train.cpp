@@ -1,13 +1,58 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
 
+#include "common/check.h"
+#include "common/fault.h"
+#include "nn/layers.h"
 #include "train/dataset.h"
 #include "train/metrics.h"
 #include "train/trainer.h"
 
 namespace mfa::train {
 namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory, removed on destruction.
+struct TempDir {
+  explicit TempDir(const char* tag)
+      : path((fs::temp_directory_path() / (std::string("mfa_train_") + tag))
+                 .string()) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+/// Synthetic per-pixel dataset (labels follow a thresholded feature channel).
+std::vector<Sample> synthetic_samples(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Sample> samples;
+  for (int i = 0; i < n; ++i) {
+    Sample s;
+    s.features = Tensor::uniform({6, 32, 32}, rng, 0.0f, 1.0f);
+    s.label = Tensor::zeros({32, 32});
+    const float* rudy = s.features.data() + 3 * 32 * 32;
+    for (std::int64_t j = 0; j < 32 * 32; ++j)
+      s.label.data()[j] = rudy[j] > 0.5f ? 2.0f : 0.0f;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+models::ModelConfig tiny_config() {
+  models::ModelConfig config;
+  config.grid = 32;
+  config.base_channels = 4;
+  config.transformer_layers = 1;
+  config.seed = 11;
+  return config;
+}
 
 TEST(Metrics, PerfectPrediction) {
   Tensor label = Tensor::from_data({2, 2}, {0, 1, 2, 3});
@@ -201,6 +246,157 @@ TEST(Trainer, FitReducesLossOnTinyProblem) {
 
   const auto result = Trainer::evaluate(*model, samples);
   EXPECT_GT(result.acc, 0.6);
+}
+
+TEST(Trainer, CheckpointsAndResumesWithinTolerance) {
+  const auto samples = synthetic_samples(6, 3);
+  TrainOptions options;
+  options.epochs = 8;
+  options.batch_size = 2;
+  options.learning_rate = 5e-3f;
+  options.seed = 5;
+
+  // Uninterrupted reference run.
+  auto full_model = models::make_model("unet", tiny_config());
+  TempDir full_dir("full");
+  options.checkpoint_dir = full_dir.path;
+  const auto full = Trainer::fit_resumable(*full_model, samples, options);
+  EXPECT_EQ(full.epochs_run, 8);
+  EXPECT_EQ(full.start_epoch, 0);
+  EXPECT_GT(full.checkpoints_written, 0);
+  EXPECT_TRUE(fs::exists(checkpoint_path(full_dir.path, 7)));
+
+  // Same seed, interrupted after 4 epochs, then resumed to completion.
+  auto resumed_model = models::make_model("unet", tiny_config());
+  TempDir resume_dir("resume");
+  options.checkpoint_dir = resume_dir.path;
+  options.epochs = 4;
+  const auto first = Trainer::fit_resumable(*resumed_model, samples, options);
+  EXPECT_EQ(first.epochs_run, 4);
+  options.epochs = 8;
+  const auto second = Trainer::fit_resumable(*resumed_model, samples, options);
+  EXPECT_EQ(second.start_epoch, 4) << "should resume after the last snapshot";
+  EXPECT_EQ(second.epochs_run, 4);
+
+  // Interruption must not change the outcome materially (acceptance: within
+  // 5% of the uninterrupted run's final loss at the same seed).
+  EXPECT_NEAR(second.final_loss, full.final_loss,
+              0.05 * std::max(std::abs(full.final_loss), 1e-6));
+}
+
+TEST(Trainer, ResumeFromSkipsCorruptLatestCheckpoint) {
+  Rng rng(1);
+  nn::Linear module(4, 3, rng);
+  TempDir dir("corrupt");
+  nn::CheckpointMeta meta;
+  meta.epoch = 1;
+  nn::save_checkpoint(module, checkpoint_path(dir.path, 1), meta);
+  const auto good = module.parameters()[0].to_vector();
+  // A newer snapshot that was cut off mid-write (no CRC): must be rejected
+  // and the previous epoch used instead.
+  module.parameters()[0].fill_(9.0f);
+  meta.epoch = 2;
+  const auto latest = checkpoint_path(dir.path, 2);
+  nn::save_checkpoint(module, latest, meta);
+  fs::resize_file(latest, fs::file_size(latest) / 2);
+  // A stray temp file from an interrupted atomic save must be ignored too.
+  { FILE* f = std::fopen((latest + ".tmp").c_str(), "wb"); std::fclose(f); }
+
+  nn::Linear fresh(4, 3, rng);
+  nn::CheckpointMeta loaded;
+  const auto path = resume_from(fresh, dir.path, &loaded);
+  EXPECT_EQ(path, checkpoint_path(dir.path, 1));
+  EXPECT_EQ(loaded.epoch, 1);
+  EXPECT_EQ(fresh.parameters()[0].to_vector(), good);
+}
+
+TEST(Trainer, ResumeFromEmptyOrMissingDirReturnsNothing) {
+  Rng rng(1);
+  nn::Linear module(4, 3, rng);
+  EXPECT_EQ(resume_from(module, ""), "");
+  EXPECT_EQ(resume_from(module, "/tmp/mfa_train_no_such_dir_xyz"), "");
+  TempDir dir("empty");
+  EXPECT_EQ(resume_from(module, dir.path), "");
+}
+
+TEST(Trainer, RollbackExhaustionKeepsLastGoodParameters) {
+  const auto samples = synthetic_samples(4, 7);
+  auto model = models::make_model("unet", tiny_config());
+  TrainOptions options;
+  options.epochs = 6;
+  options.batch_size = 2;
+  options.learning_rate = 5e-3f;
+  // Absurdly tight spike threshold: every epoch after the first counts as
+  // diverged, so the rollback machinery runs out deterministically.
+  options.divergence_factor = 1e-6;
+  options.max_rollbacks = 3;
+  const auto report = Trainer::fit_resumable(*model, samples, options);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_EQ(report.rollbacks, 3);
+  EXPECT_EQ(report.epochs_run, 1);  // only the first epoch completed
+  // Each rollback halves the learning rate.
+  EXPECT_FLOAT_EQ(report.final_learning_rate, 5e-3f / 8.0f);
+  EXPECT_TRUE(std::isfinite(report.final_loss));
+  // The last good snapshot was restored, so predictions stay finite.
+  Rng rng(2);
+  Tensor x = Tensor::uniform({1, 6, 32, 32}, rng, 0.0f, 1.0f);
+  const auto pred = model->predict_levels(x).to_vector();
+  for (const float v : pred) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Trainer, CrashMidEpochThenResumeCompletes) {
+  if (!common::FaultInjector::compiled_in())
+    GTEST_SKIP() << "fault injection compiled out (Release build)";
+  auto& fi = common::FaultInjector::instance();
+  fi.reset();
+  const auto samples = synthetic_samples(6, 3);  // 3 batches per epoch
+  auto model = models::make_model("unet", tiny_config());
+  TempDir dir("crash");
+  TrainOptions options;
+  options.epochs = 4;
+  options.batch_size = 2;
+  options.learning_rate = 5e-3f;
+  options.checkpoint_dir = dir.path;
+  // Crash in the middle of epoch 2 (8th batch overall): epochs 0-1 have
+  // checkpoints on disk, epoch 2's work is lost.
+  fi.arm_nth("trainer.crash", 8);
+  EXPECT_THROW(Trainer::fit_resumable(*model, samples, options),
+               std::runtime_error);
+  fi.reset();
+  // The "restarted process": a fresh model resumes from the epoch-1 snapshot
+  // and finishes the remaining epochs.
+  auto restarted = models::make_model("unet", tiny_config());
+  const auto report = Trainer::fit_resumable(*restarted, samples, options);
+  EXPECT_EQ(report.start_epoch, 2);
+  EXPECT_EQ(report.epochs_run, 2);
+  EXPECT_FALSE(report.diverged);
+  EXPECT_TRUE(std::isfinite(report.final_loss));
+}
+
+TEST(Trainer, InjectedNanGradientRollsBackAndRecovers) {
+  if (!common::FaultInjector::compiled_in())
+    GTEST_SKIP() << "fault injection compiled out (Release build)";
+  auto& fi = common::FaultInjector::instance();
+  fi.reset();
+  const bool prev = check::finite_grad_checks_enabled();
+  check::set_finite_grad_checks(true);
+  const auto samples = synthetic_samples(4, 9);
+  auto model = models::make_model("unet", tiny_config());
+  TrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 2;
+  options.learning_rate = 5e-3f;
+  options.max_rollbacks = 2;
+  // One poisoned gradient in the first epoch: the finite-grad guard turns it
+  // into a CheckError, the trainer rolls back and retries cleanly.
+  fi.arm_once("tensor.nan_grad");
+  const auto report = Trainer::fit_resumable(*model, samples, options);
+  fi.reset();
+  check::set_finite_grad_checks(prev);
+  EXPECT_EQ(report.rollbacks, 1);
+  EXPECT_FALSE(report.diverged);
+  EXPECT_EQ(report.epochs_run, 3);
+  EXPECT_TRUE(std::isfinite(report.final_loss));
 }
 
 TEST(Trainer, EvaluateEmptySetReturnsZeros) {
