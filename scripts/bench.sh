@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Benchmark-regression harness for the tensor hot path.
+#
+# Runs bench_micro (google-benchmark) with JSON output and writes
+# BENCH_micro.json at the repo root: the raw current run plus a
+# per-benchmark comparison against the committed baseline
+# (bench/baseline.json, captured on this box before the kernel rewrite).
+# Committing both files gives every checkout a before/after record and
+# lets CI flag kernel regressions without re-measuring the old code.
+#
+# Usage: scripts/bench.sh [--smoke] [--check] [--filter REGEX] [build-dir]
+#   --smoke    one repetition with a tiny min-time: proves the binary runs
+#              and the JSON pipeline works without burning CI minutes.
+#              Numbers are NOT meaningful; output goes to
+#              <build-dir>/BENCH_micro.smoke.json so the committed
+#              BENCH_micro.json is never clobbered by throwaway data.
+#   --check    exit non-zero if any baseline benchmark regressed by more
+#              than 25% (ignored in --smoke mode).
+#   --filter   forwarded to --benchmark_filter (default: run everything).
+#   build-dir  CMake build tree to use (default: build).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+CHECK=0
+FILTER=""
+BUILD_DIR=build
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --check) CHECK=1 ;;
+    --filter) FILTER="$2"; shift ;;
+    -*) echo "bench.sh: unknown flag: $1" >&2; exit 2 ;;
+    *) BUILD_DIR="$1" ;;
+  esac
+  shift
+done
+
+if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
+  cmake -B "${BUILD_DIR}" -S . >/dev/null
+fi
+cmake --build "${BUILD_DIR}" --target bench_micro -j"$(nproc)"
+
+RAW="${BUILD_DIR}/bench_micro_raw.json"
+OUT="BENCH_micro.json"
+ARGS=(--benchmark_out="${RAW}" --benchmark_out_format=json)
+if [ "${SMOKE}" = 1 ]; then
+  OUT="${BUILD_DIR}/BENCH_micro.smoke.json"
+  ARGS+=(--benchmark_repetitions=1 --benchmark_min_time=0.01)
+fi
+if [ -n "${FILTER}" ]; then
+  ARGS+=(--benchmark_filter="${FILTER}")
+fi
+"${BUILD_DIR}/bench/bench_micro" "${ARGS[@]}"
+
+SMOKE="${SMOKE}" CHECK="${CHECK}" RAW="${RAW}" OUT="${OUT}" python3 - <<'PY'
+import json, os, sys
+
+smoke = os.environ["SMOKE"] == "1"
+check = os.environ["CHECK"] == "1" and not smoke
+raw = json.load(open(os.environ["RAW"]))
+out_path = os.environ["OUT"]
+
+baseline = {}
+baseline_date = None
+try:
+    base = json.load(open("bench/baseline.json"))
+    baseline_date = base.get("context", {}).get("date")
+    baseline = {b["name"]: b for b in base.get("benchmarks", [])}
+except FileNotFoundError:
+    pass
+
+comparison = []
+regressions = []
+for b in raw.get("benchmarks", []):
+    old = baseline.get(b["name"])
+    if old is None:
+        continue
+    speedup = old["real_time"] / b["real_time"] if b["real_time"] else None
+    comparison.append({
+        "name": b["name"],
+        "baseline_real_time_ns": old["real_time"],
+        "current_real_time_ns": b["real_time"],
+        "speedup_vs_baseline": round(speedup, 3) if speedup else None,
+    })
+    if check and speedup is not None and speedup < 0.8:
+        regressions.append((b["name"], speedup))
+
+doc = {
+    "context": raw.get("context", {}),
+    "smoke": smoke,
+    "baseline": {"file": "bench/baseline.json", "date": baseline_date},
+    "comparison": comparison,
+    "benchmarks": raw.get("benchmarks", []),
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+if comparison and not smoke:
+    width = max(len(c["name"]) for c in comparison)
+    print(f"\n{'benchmark':<{width}}  {'baseline ns':>14}  {'current ns':>14}  speedup")
+    for c in comparison:
+        print(f"{c['name']:<{width}}  {c['baseline_real_time_ns']:>14.0f}"
+              f"  {c['current_real_time_ns']:>14.0f}"
+              f"  {c['speedup_vs_baseline']:>6.2f}x")
+print(f"\nbench.sh: wrote {out_path}")
+
+if regressions:
+    for name, s in regressions:
+        print(f"bench.sh: REGRESSION {name}: {s:.2f}x of baseline", file=sys.stderr)
+    sys.exit(1)
+PY

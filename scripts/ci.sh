@@ -43,6 +43,21 @@ run_config tsan    Debug          thread
 # finite-grad guard env default exercises the dirty-set NaN scan everywhere.
 MFA_CI_FINITE_GRADS=1 run_config faults Debug ""
 
+echo "=== bench smoke ==="
+# One tiny repetition: proves bench_micro runs and the JSON pipeline is
+# well-formed without spending CI minutes on stable numbers. Real numbers
+# come from `scripts/bench.sh` on a quiet box (committed as BENCH_micro.json,
+# compared against bench/baseline.json).
+scripts/bench.sh --smoke build-ci/release
+python3 - <<'PY'
+import json
+doc = json.load(open("build-ci/release/BENCH_micro.smoke.json"))
+assert doc["smoke"] is True
+assert doc["benchmarks"], "bench smoke produced no benchmark entries"
+assert all("real_time" in b for b in doc["benchmarks"])
+print(f"bench smoke: {len(doc['benchmarks'])} benchmarks, JSON well-formed")
+PY
+
 echo "=== static analysis ==="
 scripts/check.sh build-ci/release
 

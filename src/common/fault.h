@@ -24,8 +24,10 @@
 //     tensor.nan_grad                poisons a parent gradient in backward()
 //     trainer.crash                  crash mid-epoch in Trainer::fit
 //     flow.predictor_nan             predictor emits a non-finite level map
+//     flow.predict_budget            predictor wall-clock budget reads exhausted
 //     place.budget                   placer wall-clock budget reads exhausted
 //     route.budget                   router wall-clock budget reads exhausted
+//     trainer.budget                 trainer wall-clock budget reads exhausted
 #pragma once
 
 #include <cstdint>

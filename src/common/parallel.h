@@ -1,60 +1,66 @@
-// Tiny fork-join helper for data-parallel loops in the numeric kernels.
+// Data-parallel loop front-end for the numeric kernels.
 //
-// parallel_for splits [0, n) into contiguous chunks across a small thread
-// pool-less fork/join (threads are created per call; the kernels it guards are
-// coarse enough that creation cost is negligible, and this keeps the library
-// free of global state).
+// parallel_for splits [0, n) into chunks executed over the persistent worker
+// pool (common/thread_pool.h). The callable is taken as a template parameter
+// — no std::function allocation or indirect dispatch — and is type-erased
+// into a single trampoline function pointer only when the loop actually
+// leaves the calling thread.
+//
+// Fast paths, in order:
+//  * n <= 0                      — nothing to do, returns immediately.
+//  * n <= grain or pool size 1   — runs fn(0, n) inline; never touches the
+//                                  scheduler (and never constructs the pool
+//                                  when it is the first parallel call).
+//  * nested inside a region      — runs inline: kernels may freely call
+//                                  parallel kernels (conv's batch loop over
+//                                  parallel GEMM) without oversubscription.
+//
+// If a chunk throws, the first exception (in completion order) is captured
+// and rethrown in the caller after the region has drained; later exceptions
+// are swallowed. Without this, an exception escaping a worker thread would
+// call std::terminate, turning any MFA_CHECK failure inside a parallel
+// kernel into a process abort instead of a catchable CheckError.
+//
+// Determinism: chunking only partitions the index range; as long as fn keeps
+// a fixed reduction order per index (all kernels in tensor/ do), results are
+// bit-identical for any pool size and any chunk schedule.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <exception>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <type_traits>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace mfa {
 
 /// Invokes fn(begin, end) over disjoint chunks covering [0, n).
-/// Runs inline when the range is small or hardware_concurrency is 1.
-///
-/// If a worker throws, the first exception (in completion order) is captured
-/// and rethrown in the caller after every thread has joined; later exceptions
-/// are swallowed. Without this, an exception escaping a worker thread would
-/// call std::terminate, turning any MFA_CHECK failure inside a parallel
-/// kernel into a process abort instead of a catchable CheckError.
-inline void parallel_for(std::int64_t n,
-                         const std::function<void(std::int64_t, std::int64_t)>& fn,
-                         std::int64_t grain = 1024) {
+template <typename Fn>
+void parallel_for(std::int64_t n, Fn&& fn, std::int64_t grain = 1024) {
+  static_assert(std::is_invocable_v<Fn&, std::int64_t, std::int64_t>,
+                "parallel_for body must be callable as fn(begin, end)");
   if (n <= 0) return;
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const auto max_threads = static_cast<std::int64_t>(std::min(hw, 16u));
-  const std::int64_t threads = std::min(max_threads, (n + grain - 1) / grain);
-  if (threads <= 1) {
+  if (n <= grain || common::ThreadPool::in_parallel_region()) {
     fn(0, n);
     return;
   }
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
-  const std::int64_t chunk = (n + threads - 1) / threads;
-  for (std::int64_t t = 0; t < threads; ++t) {
-    const std::int64_t begin = t * chunk;
-    const std::int64_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([&fn, &first_error, &error_mutex, begin, end] {
-      try {
-        fn(begin, end);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
+  auto& pool = common::ThreadPool::instance();
+  if (pool.size() <= 1) {
+    fn(0, n);
+    return;
   }
-  for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  // Dynamic scheduling claims one chunk per atomic increment; scale the chunk
+  // up from `grain` so a huge range still costs only O(8 * pool size) claims.
+  const std::int64_t tasks = static_cast<std::int64_t>(pool.size()) * 8;
+  const std::int64_t chunk = std::max(grain, (n + tasks - 1) / tasks);
+  using Body = std::remove_reference_t<Fn>;
+  pool.run(
+      n, chunk,
+      [](void* ctx, std::int64_t begin, std::int64_t end) {
+        (*static_cast<Body*>(ctx))(begin, end);
+      },
+      const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
 }
 
 }  // namespace mfa

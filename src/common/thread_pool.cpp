@@ -1,0 +1,163 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace mfa::common {
+
+namespace {
+
+// Depth of nested parallel-region execution on this thread. Non-zero while a
+// chunk kernel is running, so nested parallel_for calls go inline.
+thread_local int g_region_depth = 0;
+
+std::atomic<bool> g_pool_initialized{false};
+
+int clamp_size(long value) {
+  return static_cast<int>(std::clamp(value, 1L, 256L));
+}
+
+int default_size() {
+  if (const char* env = std::getenv("MFA_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return clamp_size(parsed);
+  }
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return clamp_size(static_cast<long>(std::min(hw, 16u)));
+}
+
+struct RegionGuard {
+  RegionGuard() { ++g_region_depth; }
+  ~RegionGuard() { --g_region_depth; }
+};
+
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  g_pool_initialized.store(true, std::memory_order_release);
+  return pool;
+}
+
+bool ThreadPool::initialized() {
+  return g_pool_initialized.load(std::memory_order_acquire);
+}
+
+bool ThreadPool::in_parallel_region() { return g_region_depth > 0; }
+
+ThreadPool::ThreadPool() {
+  size_ = default_size();
+  spawn_workers(size_ - 1);  // the submitting caller is participant #0
+}
+
+ThreadPool::~ThreadPool() { join_workers(); }
+
+void ThreadPool::spawn_workers(int workers) {
+  workers_.reserve(static_cast<size_t>(std::max(workers, 0)));
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void ThreadPool::join_workers() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = false;
+  }
+}
+
+void ThreadPool::resize_for_testing(int size) {
+  const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  join_workers();
+  size_ = clamp_size(size);
+  spawn_workers(size_ - 1);
+}
+
+void ThreadPool::work_on(Job& job) {
+  const RegionGuard guard;
+  for (;;) {
+    const std::int64_t begin = job.next.fetch_add(job.chunk);
+    if (begin >= job.n) break;
+    const std::int64_t end = std::min(job.n, begin + job.chunk);
+    try {
+      job.kernel(job.ctx, begin, end);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] { return stop_ || (job_ != nullptr && seq_ != seen); });
+    if (stop_) return;
+    seen = seq_;
+    Job* job = job_;
+    // Register under the lock so the submitter cannot observe "all chunks
+    // claimed, nobody in flight" and retire the job while we are entering.
+    job->in_flight.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    work_on(*job);
+    lock.lock();
+    if (job->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      done_.notify_all();
+  }
+}
+
+void ThreadPool::run(std::int64_t n, std::int64_t chunk, Kernel kernel,
+                     void* ctx) {
+  chunk = std::max<std::int64_t>(1, chunk);
+  // One region at a time. A second top-level caller racing in runs its loop
+  // inline rather than blocking: it would otherwise just idle while the pool
+  // is busy, and inline execution keeps results identical anyway.
+  std::unique_lock<std::mutex> submit_lock(submit_mutex_, std::try_to_lock);
+  if (!submit_lock.owns_lock() || workers_.empty()) {
+    const RegionGuard guard;
+    std::exception_ptr error;
+    for (std::int64_t begin = 0; begin < n; begin += chunk) {
+      try {
+        kernel(ctx, begin, std::min(n, begin + chunk));
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  Job job;
+  job.kernel = kernel;
+  job.ctx = ctx;
+  job.n = n;
+  job.chunk = chunk;
+  jobs_run_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++seq_;
+  }
+  wake_.notify_all();
+  work_on(job);  // the caller is a participant, not just a waiter
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return job.next.load(std::memory_order_acquire) >= job.n &&
+             job.in_flight.load(std::memory_order_acquire) == 0;
+    });
+    job_ = nullptr;  // no new worker may join once we retire the job
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace mfa::common

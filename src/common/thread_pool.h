@@ -1,0 +1,123 @@
+// Persistent worker pool behind mfa::parallel_for (see common/parallel.h).
+//
+// The old parallel_for spawned and joined fresh std::threads on every call,
+// which put thread-creation latency on the GEMM/conv hot path. The pool is
+// created lazily on the first parallel region, keeps its workers parked on a
+// condition variable between jobs, and hands out work with an atomic-counter
+// dynamic chunk scheduler (workers race to claim the next chunk, so uneven
+// chunks self-balance).
+//
+// Determinism contract: the pool never changes *what* is computed, only *who*
+// computes it. Kernels built on it (tensor/gemm.h) keep a fixed per-element
+// reduction order, so results are bit-identical for any pool size, including
+// MFA_THREADS=1.
+//
+// Sizing: MFA_THREADS (clamped to [1, 256]) overrides the default of
+// hardware_concurrency capped at 16. The env var is read once, when the pool
+// is first constructed. Size 1 means "no workers": every region runs inline
+// on the caller.
+//
+// Re-entrancy: a thread_local depth counter marks threads currently executing
+// a parallel region (workers and participating callers alike). A nested
+// parallel_for observes it and runs inline instead of deadlocking on the
+// job slot or oversubscribing the machine. Likewise, when two independent
+// caller threads race to submit jobs, the loser runs its loop inline rather
+// than blocking (run() is try_lock based).
+//
+// Exception semantics match the old fork/join helper: the first exception a
+// chunk throws (in completion order) is captured and rethrown in the caller
+// after the whole region has drained; later exceptions are swallowed. All
+// chunks still execute — an error does not cancel the remainder of the range.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mfa::common {
+
+class ThreadPool {
+ public:
+  /// Type-erased chunk kernel: invoked as kernel(ctx, begin, end) over
+  /// disjoint [begin, end) subranges. parallel_for supplies a trampoline
+  /// around the user's callable, so no std::function allocation is involved.
+  using Kernel = void (*)(void* ctx, std::int64_t begin, std::int64_t end);
+
+  /// The process-wide pool, constructed (and its workers spawned) on first
+  /// use. Callers that never enter a large parallel region never pay for it.
+  static ThreadPool& instance();
+
+  /// True on threads currently executing a chunk of some parallel region
+  /// (pool workers and participating callers). Used by parallel_for to run
+  /// nested regions inline.
+  static bool in_parallel_region();
+
+  /// Runs kernel over [0, n) in chunks of `chunk` claimed from an atomic
+  /// counter. The caller participates; workers join in. Blocks until the
+  /// region has fully drained, then rethrows the first captured exception.
+  /// Must not be called with n <= 0 (parallel_for filters that out).
+  void run(std::int64_t n, std::int64_t chunk, Kernel kernel, void* ctx);
+
+  /// Total parallelism: participating caller + workers. A size of 1 means
+  /// run() executes everything inline.
+  int size() const { return size_; }
+
+  /// Number of parallel regions actually dispatched to workers (inline runs
+  /// don't count). Lets tests verify the n <= grain fast path never touches
+  /// the scheduler.
+  std::uint64_t jobs_run() const { return jobs_run_.load(); }
+
+  /// True once instance() has been called (without forcing construction).
+  static bool initialized();
+
+  /// Joins the current workers and respawns with the given size (clamped
+  /// like MFA_THREADS). Test-only: lets the determinism suite compare a
+  /// size-1 pool against the parallel configuration inside one process.
+  /// Must not be called while any parallel region is running.
+  void resize_for_testing(int size);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  ~ThreadPool();
+
+  struct Job {
+    Kernel kernel = nullptr;
+    void* ctx = nullptr;
+    std::int64_t n = 0;
+    std::int64_t chunk = 1;
+    std::atomic<std::int64_t> next{0};   // next unclaimed index
+    std::atomic<int> in_flight{0};       // threads inside work_on()
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void spawn_workers(int workers);
+  void join_workers();
+  void worker_loop();
+  /// Claims and executes chunks until the range is exhausted.
+  static void work_on(Job& job);
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+
+  // Job hand-off: job_/seq_ guarded by mutex_; workers sleep on wake_ and the
+  // submitting caller sleeps on done_. submit_mutex_ serialises top-level
+  // callers (try_lock: losers run inline, see run()).
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Job* job_ = nullptr;
+  std::uint64_t seq_ = 0;
+  bool stop_ = false;
+  std::mutex submit_mutex_;
+  std::atomic<std::uint64_t> jobs_run_{0};
+};
+
+}  // namespace mfa::common

@@ -57,11 +57,31 @@ FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
   fopt.grid_height = options_.grid;
   std::vector<double> cell_x, cell_y;
   std::int64_t inflated = 0;
+  double predict_spent_seconds = 0.0;
+  const auto predict_budget_spent = [&] {
+    if (MFA_FAULT_POINT("flow.predict_budget")) return true;
+    return options_.predictor_time_budget_seconds > 0.0 &&
+           predict_spent_seconds > options_.predictor_time_budget_seconds;
+  };
   for (std::int64_t round = 0; round < options_.inflation_rounds; ++round) {
     placer.placement().expand(problem, cell_x, cell_y);
     std::vector<float> levels;
     bool use_analytic = strategy != Strategy::Ours;
-    if (strategy == Strategy::Ours) {
+    if (strategy == Strategy::Ours && predict_budget_spent()) {
+      // The predictor is the flow's other hot stage; once its wall-clock
+      // budget is gone the remaining rounds use the analytic estimate, same
+      // degradation shape as the placer/router budgets.
+      log::warn("flow: round %lld predictor wall-clock budget (%g s) "
+                "exhausted; using analytic congestion estimate",
+                static_cast<long long>(round),
+                options_.predictor_time_budget_seconds);
+      result.budget_exhausted = true;
+      result.incidents.push_back(
+          {round, "predict",
+           "predictor wall-clock budget exhausted; used analytic estimate"});
+      use_analytic = true;
+    } else if (strategy == Strategy::Ours) {
+      const auto predict_start = Clock::now();
       try {
         // Model input uses the normalised feature stack it was trained on.
         Tensor feats = features::extract_features(*design_, *device_, cell_x,
@@ -89,6 +109,8 @@ FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
                  e.what()});
         use_analytic = true;
       }
+      predict_spent_seconds +=
+          std::chrono::duration<double>(Clock::now() - predict_start).count();
     }
     if (use_analytic) {
       features::FeatureOptions raw = fopt;

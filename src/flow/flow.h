@@ -43,6 +43,12 @@ struct FlowOptions {
   /// overflow gate can be met early while wirelength is still far from
   /// converged, and inflating a half-converged placement is meaningless.
   std::int64_t min_gp_iterations = 120;
+  /// Wall-clock budget for the ML predictor forward passes, accumulated
+  /// across inflation rounds (0 = unlimited). Once spent, remaining rounds
+  /// fall back to the analytic congestion estimate — mirroring the placer
+  /// and router budgets — and the cut is surfaced as a FlowIncident plus
+  /// FlowResult::budget_exhausted.
+  double predictor_time_budget_seconds = 0.0;
 };
 
 /// One recovery action taken during run(): the flow kept going, but a stage

@@ -1,0 +1,46 @@
+// The single GEMM implementation behind matmul and conv2d (both directions).
+//
+// Three accumulating row-major kernels (C += op(A) * op(B)):
+//   gemm_nn: C[m,n] += A[m,k]        * B[k,n]
+//   gemm_nt: C[m,n] += A[m,k]        * B[n,k]^T
+//   gemm_tn: C[m,n] += A[k,m]^T      * B[k,n]
+//
+// All three are register-blocked (4 output rows per microkernel step, inner
+// loops over __restrict pointers that the compiler unrolls and vectorises)
+// and parallelised over output rows with parallel_for. Nested use is safe:
+// called from inside another parallel region (conv2d's batch loop) they run
+// inline on that worker, so there is exactly one level of threading.
+//
+// Determinism: every output element C[i][j] is reduced in a fixed order
+// (k ascending) regardless of row tiling, chunk schedule, or pool size —
+// the row blocking only interleaves *independent* accumulator streams.
+// gemm_nt accumulates its dot products in double, like the scalar kernel it
+// replaced; backward-pass gradients (dA, conv dW) depend on that headroom.
+//
+// scratch() hands out thread-local grow-only buffers for im2col/col2im-style
+// packing so steady-state conv calls allocate nothing (tensor/gemm.cpp owns
+// the arena; see DESIGN.md "Threading and memory model").
+#pragma once
+
+#include <cstdint>
+
+namespace mfa::kernels {
+
+void gemm_nn(const float* A, const float* B, float* C, std::int64_t m,
+             std::int64_t k, std::int64_t n);
+void gemm_nt(const float* A, const float* B, float* C, std::int64_t m,
+             std::int64_t k, std::int64_t n);
+void gemm_tn(const float* A, const float* B, float* C, std::int64_t m,
+             std::int64_t k, std::int64_t n);
+
+/// Thread-local scratch buffer for kernel-internal packing. `slot` selects
+/// one of a small number of independent buffers (a kernel that needs an
+/// im2col panel and a gradient panel at once uses two slots); the returned
+/// pointer stays valid until the same slot is requested again on the same
+/// thread with a larger size. Contents are unspecified — callers that need
+/// zeros must fill them. Buffers grow but never shrink, so the steady state
+/// is allocation-free.
+inline constexpr int kScratchSlots = 4;
+float* scratch(int slot, std::int64_t floats);
+
+}  // namespace mfa::kernels

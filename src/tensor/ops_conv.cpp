@@ -1,63 +1,27 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
-
-#include <mutex>
+#include <vector>
 
 #include "common/check.h"
 #include "common/log.h"
 #include "common/parallel.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace mfa::ops {
+
+using kernels::gemm_nn;
+using kernels::gemm_nt;
+using kernels::gemm_tn;
+
 namespace {
 
-// Accumulating GEMM kernels local to the conv lowering (see ops_matmul.cpp
-// for the layout conventions).
-// Sequential on purpose: conv2d parallelises over the batch dimension, so a
-// nested parallel_for here would oversubscribe the machine.
-void gemm_nn(const float* A, const float* B, float* C, std::int64_t m,
-             std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* c = C + i * n;
-    const float* a = A + i * k;
-    for (std::int64_t l = 0; l < k; ++l) {
-      const float av = a[l];
-      if (av == 0.0f) continue;
-      const float* b = B + l * n;
-      for (std::int64_t j = 0; j < n; ++j) c[j] += av * b[j];
-    }
-  }
-}
-
-void gemm_nt(const float* A, const float* B, float* C, std::int64_t m,
-             std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* a = A + i * k;
-    float* c = C + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* b = B + j * k;
-      double acc = 0.0;
-      for (std::int64_t l = 0; l < k; ++l)
-        acc += static_cast<double>(a[l]) * b[l];
-      c[j] += static_cast<float>(acc);
-    }
-  }
-}
-
-void gemm_tn(const float* A, const float* B, float* C, std::int64_t m,
-             std::int64_t k, std::int64_t n) {
-  for (std::int64_t l = 0; l < k; ++l) {
-    const float* a = A + l * m;
-    const float* b = B + l * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = a[i];
-      if (av == 0.0f) continue;
-      float* c = C + i * n;
-      for (std::int64_t j = 0; j < n; ++j) c[j] += av * b[j];
-    }
-  }
-}
+// Fixed number of dW accumulation slots in conv2d backward. Chosen once
+// (independent of MFA_THREADS / pool size) so the sequential slot-order
+// reduction after the join adds per-sample contributions in the same order
+// on every machine — deterministic, and lock-free while the workers run.
+constexpr std::int64_t kDwSlots = 16;
 
 struct ConvDims {
   std::int64_t N, Cin, H, W, Cout, Kh, Kw, Hout, Wout, stride, pad;
@@ -156,42 +120,53 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
         const float* go = o.grad.data();
         if (xi->requires_grad) xi->ensure_grad();
         if (wi->requires_grad) wi->ensure_grad();
-        // Batch-parallel backward: dx writes are disjoint per sample; dW is
-        // accumulated into per-chunk scratch and merged under a mutex.
-        std::mutex merge_mutex;
+        // Batch-parallel backward over a fixed slot partition: dx writes are
+        // disjoint per sample, and each slot owns a private dW accumulator
+        // that is reduced sequentially (slot 0, 1, ...) after the join. No
+        // merge lock, and the FP accumulation order is the sample order
+        // 0..N-1 for every thread count.
+        const std::int64_t slots =
+            std::max<std::int64_t>(1, std::min(d.N, kDwSlots));
+        const std::int64_t per_slot = (d.N + slots - 1) / slots;
+        std::vector<float> dw_slots(
+            wi->requires_grad ? static_cast<size_t>(slots * d.Cout * CKK) : 0,
+            0.0f);
         parallel_for(
-            d.N,
-            [&](std::int64_t n0, std::int64_t n1) {
-              std::vector<float> col(static_cast<size_t>(CKK * HW));
-              std::vector<float> dcol(static_cast<size_t>(CKK * HW));
-              std::vector<float> dw(
-                  wi->requires_grad ? static_cast<size_t>(d.Cout * CKK) : 0,
-                  0.0f);
-              for (std::int64_t n = n0; n < n1; ++n) {
-                const float* gout = go + n * d.Cout * HW;
-                if (wi->requires_grad) {
-                  im2col(xi->data.data() + n * d.Cin * d.H * d.W, d,
-                         col.data());
-                  // dW[Cout,CKK] += gO[Cout,HW] * col[CKK,HW]^T
-                  gemm_nt(gout, col.data(), dw.data(), d.Cout, HW, CKK);
+            slots,
+            [&](std::int64_t s0, std::int64_t s1) {
+              // col / dcol panels come from the worker's thread-local arena;
+              // steady-state training allocates nothing here.
+              float* col = kernels::scratch(0, CKK * HW);
+              float* dcol = kernels::scratch(1, CKK * HW);
+              for (std::int64_t s = s0; s < s1; ++s) {
+                float* dw =
+                    wi->requires_grad ? dw_slots.data() + s * d.Cout * CKK
+                                      : nullptr;
+                const std::int64_t n_end = std::min(d.N, (s + 1) * per_slot);
+                for (std::int64_t n = s * per_slot; n < n_end; ++n) {
+                  const float* gout = go + n * d.Cout * HW;
+                  if (wi->requires_grad) {
+                    im2col(xi->data.data() + n * d.Cin * d.H * d.W, d, col);
+                    // dW[Cout,CKK] += gO[Cout,HW] * col[CKK,HW]^T
+                    gemm_nt(gout, col, dw, d.Cout, HW, CKK);
+                  }
+                  if (xi->requires_grad) {
+                    std::fill(dcol, dcol + CKK * HW, 0.0f);
+                    // dcol[CKK,HW] += W[Cout,CKK]^T * gO[Cout,HW]
+                    gemm_tn(wi->data.data(), gout, dcol, CKK, d.Cout, HW);
+                    col2im(dcol, d, xi->grad.data() + n * d.Cin * d.H * d.W);
+                  }
                 }
-                if (xi->requires_grad) {
-                  std::fill(dcol.begin(), dcol.end(), 0.0f);
-                  // dcol[CKK,HW] += W[Cout,CKK]^T * gO[Cout,HW]
-                  gemm_tn(wi->data.data(), gout, dcol.data(), CKK, d.Cout,
-                          HW);
-                  col2im(dcol.data(), d,
-                         xi->grad.data() + n * d.Cin * d.H * d.W);
-                }
-              }
-              if (wi->requires_grad) {
-                const std::lock_guard<std::mutex> lock(merge_mutex);
-                for (std::int64_t i = 0; i < d.Cout * CKK; ++i)
-                  wi->grad[static_cast<size_t>(i)] +=
-                      dw[static_cast<size_t>(i)];
               }
             },
             /*grain=*/1);
+        if (wi->requires_grad) {
+          float* gw = wi->grad.data();
+          for (std::int64_t s = 0; s < slots; ++s) {
+            const float* dw = dw_slots.data() + s * d.Cout * CKK;
+            for (std::int64_t i = 0; i < d.Cout * CKK; ++i) gw[i] += dw[i];
+          }
+        }
         if (b.defined() && b.impl()->requires_grad) {
           auto bi = b.impl();
           bi->ensure_grad();
@@ -213,11 +188,11 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
     parallel_for(
         d.N,
         [&](std::int64_t n0, std::int64_t n1) {
-          std::vector<float> col(static_cast<size_t>(CKK * HW));
+          float* col = kernels::scratch(0, CKK * HW);
           for (std::int64_t n = n0; n < n1; ++n) {
-            im2col(xv + n * d.Cin * d.H * d.W, d, col.data());
+            im2col(xv + n * d.Cin * d.H * d.W, d, col);
             float* dst = ov + n * d.Cout * HW;
-            gemm_nn(wv, col.data(), dst, d.Cout, CKK, HW);
+            gemm_nn(wv, col, dst, d.Cout, CKK, HW);
             if (b.defined()) {
               for (std::int64_t c = 0; c < d.Cout; ++c) {
                 const float bv = b.data()[c];

@@ -3,10 +3,16 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/parallel.h"
 #include "tensor/ops.h"
 
 namespace mfa::ops {
 namespace {
+
+// Same-shape elementwise loops go parallel only past this many elements:
+// below it the loop is cheaper than a pool hand-off. Broadcast paths stay
+// sequential — their gradient scatter writes overlap across output indices.
+constexpr std::int64_t kElemwiseGrain = 1 << 15;
 
 // Broadcast plan: output shape plus per-input element strides aligned to the
 // output rank (stride 0 on broadcast dimensions). Walking the output with an
@@ -99,11 +105,15 @@ Tensor binary_op(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfa,
         float* ga = need_a ? ai->grad.data() : nullptr;
         float* gb = need_b ? bi->grad.data() : nullptr;
         if (bc.same_shape) {
-          const auto n = bc.numel;
-          for (std::int64_t i = 0; i < n; ++i) {
-            if (need_a) ga[i] += go[i] * dfa(av[i], bv[i]);
-            if (need_b) gb[i] += go[i] * dfb(av[i], bv[i]);
-          }
+          parallel_for(
+              bc.numel,
+              [&](std::int64_t i0, std::int64_t i1) {
+                for (std::int64_t i = i0; i < i1; ++i) {
+                  if (need_a) ga[i] += go[i] * dfa(av[i], bv[i]);
+                  if (need_b) gb[i] += go[i] * dfb(av[i], bv[i]);
+                }
+              },
+              kElemwiseGrain);
         } else {
           bcast_walk(bc, [&](std::int64_t i, std::int64_t ao, std::int64_t bo) {
             if (need_a) ga[ao] += go[i] * dfa(av[ao], bv[bo]);
@@ -115,8 +125,12 @@ Tensor binary_op(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfa,
   const float* bv = b.data();
   float* ov = out.data();
   if (bc.same_shape) {
-    const auto n = bc.numel;
-    for (std::int64_t i = 0; i < n; ++i) ov[i] = fwd(av[i], bv[i]);
+    parallel_for(
+        bc.numel,
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) ov[i] = fwd(av[i], bv[i]);
+        },
+        kElemwiseGrain);
   } else {
     bcast_walk(bc, [&](std::int64_t i, std::int64_t ao, std::int64_t bo) {
       ov[i] = fwd(av[ao], bv[bo]);
@@ -138,13 +152,22 @@ Tensor unary_op(const Tensor& a, FwdFn fwd, DFn dfn) {
         const float* ov = o.data.data();
         const float* go = o.grad.data();
         float* ga = ai->grad.data();
-        const auto n = static_cast<std::int64_t>(o.data.size());
-        for (std::int64_t i = 0; i < n; ++i) ga[i] += go[i] * dfn(av[i], ov[i]);
+        parallel_for(
+            static_cast<std::int64_t>(o.data.size()),
+            [&](std::int64_t i0, std::int64_t i1) {
+              for (std::int64_t i = i0; i < i1; ++i)
+                ga[i] += go[i] * dfn(av[i], ov[i]);
+            },
+            kElemwiseGrain);
       });
   const float* av = a.data();
   float* ov = out.data();
-  const auto n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) ov[i] = fwd(av[i]);
+  parallel_for(
+      a.numel(),
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) ov[i] = fwd(av[i]);
+      },
+      kElemwiseGrain);
   return out;
 }
 

@@ -2,67 +2,14 @@
 
 #include "common/check.h"
 #include "common/log.h"
-#include "common/parallel.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace mfa::ops {
-namespace {
 
-// Accumulating GEMM kernels (C += op(A) * op(B)), row-major. The ikj loop
-// order keeps the inner loop streaming over contiguous rows of B and C.
-
-/// C[m,n] += A[m,k] * B[k,n]
-void gemm_nn(const float* A, const float* B, float* C, std::int64_t m,
-             std::int64_t k, std::int64_t n) {
-  parallel_for(m, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      float* c = C + i * n;
-      const float* a = A + i * k;
-      for (std::int64_t l = 0; l < k; ++l) {
-        const float av = a[l];
-        if (av == 0.0f) continue;
-        const float* b = B + l * n;
-        for (std::int64_t j = 0; j < n; ++j) c[j] += av * b[j];
-      }
-    }
-  }, /*grain=*/16);
-}
-
-/// C[m,n] += A[m,k] * B[n,k]^T
-void gemm_nt(const float* A, const float* B, float* C, std::int64_t m,
-             std::int64_t k, std::int64_t n) {
-  parallel_for(m, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* a = A + i * k;
-      float* c = C + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* b = B + j * k;
-        double acc = 0.0;
-        for (std::int64_t l = 0; l < k; ++l) acc += static_cast<double>(a[l]) * b[l];
-        c[j] += static_cast<float>(acc);
-      }
-    }
-  }, /*grain=*/16);
-}
-
-/// C[m,n] += A[k,m]^T * B[k,n]
-void gemm_tn(const float* A, const float* B, float* C, std::int64_t m,
-             std::int64_t k, std::int64_t n) {
-  parallel_for(m, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t l = 0; l < k; ++l) {
-      const float* a = A + l * m;
-      const float* b = B + l * n;
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const float av = a[i];
-        if (av == 0.0f) continue;
-        float* c = C + i * n;
-        for (std::int64_t j = 0; j < n; ++j) c[j] += av * b[j];
-      }
-    }
-  }, /*grain=*/16);
-}
-
-}  // namespace
+using kernels::gemm_nn;
+using kernels::gemm_nt;
+using kernels::gemm_tn;
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   const auto ad = a.dim();

@@ -1,6 +1,7 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -156,8 +157,26 @@ FitReport Trainer::fit_resumable(models::CongestionModel& model,
   std::vector<size_t> order(train_set.size());
 
   double final_loss = 0.0;
+  const auto fit_start = std::chrono::steady_clock::now();
+  const auto budget_spent = [&] {
+    if (MFA_FAULT_POINT("trainer.budget")) return true;
+    if (options.time_budget_seconds <= 0.0) return false;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      fit_start)
+            .count();
+    return elapsed > options.time_budget_seconds;
+  };
   std::int64_t epoch = start_epoch;
   while (epoch < options.epochs) {
+    if (budget_spent()) {
+      report.budget_exhausted = true;
+      log::warn("%s wall-clock budget (%g s) exhausted after %lld epochs; "
+                "keeping the parameters trained so far",
+                model.name(), options.time_budget_seconds,
+                static_cast<long long>(report.epochs_run));
+      break;
+    }
     order.resize(train_set.size());
     std::iota(order.begin(), order.end(), size_t{0});
     Rng rng = epoch_rng(options.seed, epoch);

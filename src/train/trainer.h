@@ -41,6 +41,12 @@ struct TrainOptions {
   double divergence_factor = 3.0;
   /// Rollback retries before giving up (each halves the learning rate).
   std::int64_t max_rollbacks = 3;
+  // ---- wall-clock budget ----
+  /// Budget for the whole fit (0 = unlimited), checked at epoch boundaries
+  /// like the placer/router budgets: the epoch in flight when the clock runs
+  /// out is the last one, the completed epochs' parameters are kept, and
+  /// FitReport::budget_exhausted reports the cut.
+  double time_budget_seconds = 0.0;
 };
 
 struct EvalResult {
@@ -59,6 +65,8 @@ struct FitReport {
   /// True when max_rollbacks was exhausted; parameters are left at the last
   /// good snapshot rather than the diverged state.
   bool diverged = false;
+  /// True when time_budget_seconds stopped training before options.epochs.
+  bool budget_exhausted = false;
   float final_learning_rate = 0.0f;
 };
 

@@ -213,6 +213,58 @@ TEST(Flow, BudgetExhaustionIsReportedWithPartialScores) {
   EXPECT_TRUE(std::isfinite(result.s_score));
 }
 
+TEST(Flow, PredictorBudgetFallsBackToAnalyticForLaterRounds) {
+  // Round 0 spends the (tiny) predictor budget; round 1 must degrade to the
+  // analytic estimate, record the cut, and still finish with valid scores.
+  const auto device = test_device();
+  const auto design = small_design(device);
+  FlowOptions options = fast_options();
+  options.inflation_rounds = 2;
+  options.predictor_time_budget_seconds = 1e-12;
+  RoutabilityDrivenPlacer flow(design, device, options);
+  models::ModelConfig config;
+  config.grid = 64;
+  config.base_channels = 4;
+  config.transformer_layers = 1;
+  auto model = models::make_model("ours", config);
+  const FlowResult result = flow.run(Strategy::Ours, model.get());
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_GE(result.s_r, 5.0);
+  bool saw_predict_budget_cut = false;
+  for (const auto& incident : result.incidents)
+    if (incident.stage == "predict" &&
+        incident.detail.find("budget") != std::string::npos) {
+      saw_predict_budget_cut = true;
+      EXPECT_GE(incident.round, 1) << "round 0 must run before the budget "
+                                      "can be spent";
+    }
+  EXPECT_TRUE(saw_predict_budget_cut);
+}
+
+TEST(Flow, PredictorBudgetFaultForcesAnalyticEveryRound) {
+  if (!common::FaultInjector::compiled_in())
+    GTEST_SKIP() << "fault injection compiled out (Release build)";
+  auto& fi = common::FaultInjector::instance();
+  fi.reset();
+  const auto device = test_device();
+  const auto design = small_design(device);
+  RoutabilityDrivenPlacer flow(design, device, fast_options());
+  models::ModelConfig config;
+  config.grid = 64;
+  config.base_channels = 4;
+  config.transformer_layers = 1;
+  auto model = models::make_model("ours", config);
+  fi.arm_always("flow.predict_budget");
+  const FlowResult result = flow.run(Strategy::Ours, model.get());
+  fi.reset();
+  EXPECT_TRUE(result.budget_exhausted);
+  ASSERT_EQ(result.incidents.size(), 1u);
+  EXPECT_EQ(result.incidents[0].stage, "predict");
+  EXPECT_EQ(result.incidents[0].round, 0);
+  EXPECT_NE(result.incidents[0].detail.find("budget"), std::string::npos);
+  EXPECT_GT(result.inflated_objects, 0);  // the analytic fallback inflates
+}
+
 TEST(Flow, DeterministicForFixedOptions) {
   const auto device = test_device();
   const auto design = small_design(device);

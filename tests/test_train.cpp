@@ -399,6 +399,44 @@ TEST(Trainer, InjectedNanGradientRollsBackAndRecovers) {
   EXPECT_TRUE(std::isfinite(report.final_loss));
 }
 
+TEST(Trainer, TimeBudgetStopsTrainingAndReportsIt) {
+  auto model = models::make_model("unet", tiny_config());
+  const auto samples = synthetic_samples(2, 21);
+  TrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 2;
+  // A budget far below one epoch: fit must stop at the first boundary check,
+  // keep whatever parameters it has, and report the cut instead of throwing.
+  options.time_budget_seconds = 1e-9;
+  const auto report = Trainer::fit_resumable(*model, samples, options);
+  EXPECT_TRUE(report.budget_exhausted);
+  EXPECT_LT(report.epochs_run, options.epochs);
+  EXPECT_FALSE(report.diverged);
+
+  // No budget: the same setup trains to completion with the flag clear.
+  options.time_budget_seconds = 0.0;
+  const auto full = Trainer::fit_resumable(*model, samples, options);
+  EXPECT_FALSE(full.budget_exhausted);
+  EXPECT_EQ(full.epochs_run, options.epochs);
+}
+
+TEST(Trainer, BudgetFaultPointStopsFitImmediately) {
+  if (!common::FaultInjector::compiled_in())
+    GTEST_SKIP() << "fault injection compiled out (Release build)";
+  auto& fi = common::FaultInjector::instance();
+  fi.reset();
+  fi.arm_always("trainer.budget");
+  auto model = models::make_model("unet", tiny_config());
+  const auto samples = synthetic_samples(2, 22);
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 2;
+  const auto report = Trainer::fit_resumable(*model, samples, options);
+  fi.reset();
+  EXPECT_TRUE(report.budget_exhausted);
+  EXPECT_EQ(report.epochs_run, 0);
+}
+
 TEST(Trainer, EvaluateEmptySetReturnsZeros) {
   models::ModelConfig config;
   config.grid = 32;
