@@ -2,18 +2,42 @@
 // transformer blocks, feature extraction, router and placer throughput.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "features/features.h"
 #include "models/blocks.h"
+#include "models/congestion_model.h"
 #include "netlist/generator.h"
 #include "nn/attention.h"
 #include "place/legalizer.h"
 #include "place/placer.h"
 #include "route/router.h"
 #include "tensor/ops.h"
+#include "tensor/storage.h"
 
 using namespace mfa;
 
 namespace {
+
+/// Attaches per-iteration StoragePool counters to a benchmark: pool hits and
+/// heap allocations (misses) per iteration, measured over the timed loop
+/// only. scripts/bench.sh compares heap_allocs_per_iter against an
+/// MFA_POOL=off run to assert the steady-state allocation reduction.
+struct PoolCounterScope {
+  explicit PoolCounterScope(benchmark::State& state) : state_(state) {
+    tensor::StoragePool::instance().reset_stats();
+  }
+  ~PoolCounterScope() {
+    const auto st = tensor::StoragePool::instance().stats();
+    const auto iters = static_cast<double>(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(state_.iterations())));
+    state_.counters["pool_hits_per_iter"] =
+        static_cast<double>(st.hits) / iters;
+    state_.counters["heap_allocs_per_iter"] =
+        static_cast<double>(st.misses) / iters;
+  }
+  benchmark::State& state_;
+};
 
 void BM_Conv2dForward(benchmark::State& state) {
   const auto channels = state.range(0);
@@ -32,14 +56,34 @@ void BM_Conv2dTrainStep(benchmark::State& state) {
   Rng rng(2);
   Tensor x = Tensor::randn({4, 8, 64, 64}, rng);
   Tensor w = Tensor::randn({8, 8, 3, 3}, rng, 0.1f, /*requires_grad=*/true);
-  for (auto _ : state) {
+  const auto step = [&] {
     w.zero_grad();
     Tensor y = ops::conv2d(x, w, Tensor(), 1, 1);
     ops::sum(ops::mul(y, y)).backward();
     benchmark::DoNotOptimize(w.grad().data());
-  }
+  };
+  step();  // warm-up: populate the free lists before counting
+  PoolCounterScope counters(state);
+  for (auto _ : state) step();
 }
 BENCHMARK(BM_Conv2dTrainStep);
+
+void BM_PredictLevels(benchmark::State& state) {
+  Rng rng(7);
+  models::ModelConfig config;
+  config.grid = 32;
+  config.transformer_layers = 1;
+  auto model = models::make_model("ours", config);
+  Tensor x = Tensor::uniform({1, 6, 32, 32}, rng, 0.0f, 1.0f);
+  const auto predict = [&] {
+    Tensor levels = model->predict_levels(x);
+    benchmark::DoNotOptimize(levels.data());
+  };
+  predict();  // warm-up: populate the free lists before counting
+  PoolCounterScope counters(state);
+  for (auto _ : state) predict();
+}
+BENCHMARK(BM_PredictLevels);
 
 void BM_Matmul(benchmark::State& state) {
   const auto n = state.range(0);

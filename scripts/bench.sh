@@ -4,9 +4,19 @@
 # Runs bench_micro (google-benchmark) with JSON output and writes
 # BENCH_micro.json at the repo root: the raw current run plus a
 # per-benchmark comparison against the committed baseline
-# (bench/baseline.json, captured on this box before the kernel rewrite).
-# Committing both files gives every checkout a before/after record and
-# lets CI flag kernel regressions without re-measuring the old code.
+# (bench/baseline.json). Committing both files gives every checkout a
+# before/after record and lets CI flag kernel regressions without
+# re-measuring the old code.
+#
+# The JSON records a host fingerprint (core count, CPU model). Time
+# thresholds are only meaningful on the box that captured the baseline, so
+# --check warns and skips them when the fingerprints differ. The allocation
+# check below is host-independent and always enforced under --check.
+#
+# Allocation check: the pool-counter benchmarks (Conv2dTrainStep,
+# PredictLevels) are re-run with MFA_POOL=off and the steady-state
+# heap_allocs_per_iter counters are compared; with the pool on they must be
+# at most 10% of the pool-off count (>= 90% fewer heap allocations).
 #
 # Usage: scripts/bench.sh [--smoke] [--check] [--filter REGEX] [build-dir]
 #   --smoke    one repetition with a tiny min-time: proves the binary runs
@@ -15,7 +25,8 @@
 #              <build-dir>/BENCH_micro.smoke.json so the committed
 #              BENCH_micro.json is never clobbered by throwaway data.
 #   --check    exit non-zero if any baseline benchmark regressed by more
-#              than 25% (ignored in --smoke mode).
+#              than 25% (skipped off-host) or if the pool allocation
+#              reduction fails (ignored in --smoke mode).
 #   --filter   forwarded to --benchmark_filter (default: run everything).
 #   build-dir  CMake build tree to use (default: build).
 set -euo pipefail
@@ -42,6 +53,7 @@ fi
 cmake --build "${BUILD_DIR}" --target bench_micro -j"$(nproc)"
 
 RAW="${BUILD_DIR}/bench_micro_raw.json"
+RAW_OFF="${BUILD_DIR}/bench_micro_pool_off.json"
 OUT="BENCH_micro.json"
 ARGS=(--benchmark_out="${RAW}" --benchmark_out_format=json)
 if [ "${SMOKE}" = 1 ]; then
@@ -53,22 +65,56 @@ if [ -n "${FILTER}" ]; then
 fi
 "${BUILD_DIR}/bench/bench_micro" "${ARGS[@]}"
 
-SMOKE="${SMOKE}" CHECK="${CHECK}" RAW="${RAW}" OUT="${OUT}" python3 - <<'PY'
+# Second pass, pool disabled, counter benchmarks only: captures the heap
+# allocation count the pool is supposed to eliminate.
+ALLOC_ARGS=(--benchmark_out="${RAW_OFF}" --benchmark_out_format=json
+            --benchmark_filter='Conv2dTrainStep|PredictLevels')
+if [ "${SMOKE}" = 1 ]; then
+  ALLOC_ARGS+=(--benchmark_repetitions=1 --benchmark_min_time=0.01)
+fi
+MFA_POOL=off "${BUILD_DIR}/bench/bench_micro" "${ALLOC_ARGS[@]}"
+
+SMOKE="${SMOKE}" CHECK="${CHECK}" RAW="${RAW}" RAW_OFF="${RAW_OFF}" \
+OUT="${OUT}" python3 - <<'PY'
 import json, os, sys
 
 smoke = os.environ["SMOKE"] == "1"
 check = os.environ["CHECK"] == "1" and not smoke
 raw = json.load(open(os.environ["RAW"]))
+raw_off = json.load(open(os.environ["RAW_OFF"]))
 out_path = os.environ["OUT"]
+
+def host_fingerprint():
+    cpu = None
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    cpu = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return {"cores": os.cpu_count(), "cpu": cpu}
+
+host = host_fingerprint()
 
 baseline = {}
 baseline_date = None
+baseline_host = None
 try:
     base = json.load(open("bench/baseline.json"))
     baseline_date = base.get("context", {}).get("date")
+    baseline_host = base.get("host")
     baseline = {b["name"]: b for b in base.get("benchmarks", [])}
 except FileNotFoundError:
     pass
+
+# Time thresholds only mean something on the baseline's own hardware.
+same_host = baseline_host == host
+if check and baseline and not same_host:
+    print("bench.sh: WARNING host fingerprint differs from bench/baseline.json"
+          f" (baseline {baseline_host}, current {host});"
+          " skipping time-regression thresholds", file=sys.stderr)
 
 comparison = []
 regressions = []
@@ -83,14 +129,42 @@ for b in raw.get("benchmarks", []):
         "current_real_time_ns": b["real_time"],
         "speedup_vs_baseline": round(speedup, 3) if speedup else None,
     })
-    if check and speedup is not None and speedup < 0.8:
+    if check and same_host and speedup is not None and speedup < 0.8:
         regressions.append((b["name"], speedup))
+
+# Steady-state allocation check: pool-on heap allocations per iteration must
+# be <= 10% of pool-off (hardware-independent, so enforced on any host).
+off_allocs = {b["name"]: b.get("heap_allocs_per_iter")
+              for b in raw_off.get("benchmarks", [])}
+allocation_check = []
+alloc_failures = []
+for b in raw.get("benchmarks", []):
+    if b["name"] not in off_allocs:
+        continue
+    on = b.get("heap_allocs_per_iter")
+    off = off_allocs[b["name"]]
+    if on is None or off is None:
+        continue
+    ratio = (on / off) if off else (0.0 if on == 0 else None)
+    entry = {
+        "name": b["name"],
+        "heap_allocs_per_iter_pool_on": on,
+        "heap_allocs_per_iter_pool_off": off,
+        "pool_hits_per_iter": b.get("pool_hits_per_iter"),
+        "on_off_ratio": round(ratio, 4) if ratio is not None else None,
+    }
+    allocation_check.append(entry)
+    if ratio is None or ratio > 0.1:
+        alloc_failures.append((b["name"], on, off))
 
 doc = {
     "context": raw.get("context", {}),
+    "host": host,
     "smoke": smoke,
-    "baseline": {"file": "bench/baseline.json", "date": baseline_date},
+    "baseline": {"file": "bench/baseline.json", "date": baseline_date,
+                 "same_host": same_host if baseline else None},
     "comparison": comparison,
+    "allocation_check": allocation_check,
     "benchmarks": raw.get("benchmarks", []),
 }
 with open(out_path, "w") as f:
@@ -104,10 +178,22 @@ if comparison and not smoke:
         print(f"{c['name']:<{width}}  {c['baseline_real_time_ns']:>14.0f}"
               f"  {c['current_real_time_ns']:>14.0f}"
               f"  {c['speedup_vs_baseline']:>6.2f}x")
+for a in allocation_check:
+    print(f"bench.sh: {a['name']}: heap allocs/iter"
+          f" {a['heap_allocs_per_iter_pool_on']:.2f} (pool on) vs"
+          f" {a['heap_allocs_per_iter_pool_off']:.2f} (pool off)")
 print(f"\nbench.sh: wrote {out_path}")
 
+failed = False
 if regressions:
     for name, s in regressions:
         print(f"bench.sh: REGRESSION {name}: {s:.2f}x of baseline", file=sys.stderr)
+    failed = True
+if check and alloc_failures:
+    for name, on, off in alloc_failures:
+        print(f"bench.sh: ALLOCATION CHECK FAILED {name}: {on:.2f} allocs/iter"
+              f" with pool vs {off:.2f} without (need <= 10%)", file=sys.stderr)
+    failed = True
+if failed:
     sys.exit(1)
 PY

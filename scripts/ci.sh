@@ -2,7 +2,9 @@
 # CI matrix: builds and tests the four supported configurations.
 #
 #   1. RelWithDebInfo          — the default developer build (DCHECKs off)
-#   2. Debug + ASan/UBSan      — memory and UB errors, DCHECKs on
+#   2. Debug + ASan/UBSan      — memory and UB errors, DCHECKs on; tested
+#                                twice: pool on, then MFA_POOL=off so ASan
+#                                sees raw (unrecycled) tensor allocations
 #   3. Debug + TSan            — data races in parallel_for call sites
 #   4. Debug fault injection   — MFA_FAULT_POINTs live + finite-grad guard
 #                                on, so the crash/rollback recovery paths and
@@ -38,6 +40,15 @@ run_config() {
 
 run_config release RelWithDebInfo ""
 run_config asan    Debug          address
+# Second ASan pass with the storage pool bypassed: recycling hides
+# use-after-free from the poisoning/quarantine machinery (a stale pointer
+# into a recycled block reads valid memory), so at least one sanitized
+# config must see every tensor buffer as a raw heap allocation.
+echo "=== [asan, MFA_POOL=off] test ==="
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+MFA_POOL=off \
+ctest --test-dir build-ci/asan --output-on-failure "${JOBS}"
 run_config tsan    Debug          thread
 # Fault-injection job: plain Debug compiles MFA_FAULT_POINT live, and the
 # finite-grad guard env default exercises the dirty-set NaN scan everywhere.

@@ -164,8 +164,12 @@ void save_checkpoint(const Module& module, const std::string& path,
   save_impl(module, path, &meta);
 }
 
-void load_checkpoint(Module& module, const std::string& path,
-                     CheckpointMeta* meta) {
+namespace {
+
+/// Reads `path` fully and verifies magic + CRC footer before any field is
+/// trusted: a corrupt length or dim would otherwise drive allocation /
+/// parsing off garbage.
+std::string read_verified_image(const std::string& path) {
   std::string image;
   {
     std::ifstream in(path, std::ios::binary);
@@ -181,8 +185,6 @@ void load_checkpoint(Module& module, const std::string& path,
     throw std::runtime_error("checkpoint: truncated file " + path);
   if (std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0)
     throw std::runtime_error("checkpoint: bad magic in " + path);
-  // Verify the footer before trusting any header field: a corrupt length or
-  // dim would otherwise drive allocation / parsing off garbage.
   std::uint32_t stored = 0;
   std::memcpy(&stored, image.data() + image.size() - 4, 4);
   const std::uint32_t actual = crc32(image.data(), image.size() - 4);
@@ -190,7 +192,29 @@ void load_checkpoint(Module& module, const std::string& path,
     throw std::runtime_error(log::format(
         "checkpoint: CRC mismatch in %s (stored %08x, computed %08x)",
         path.c_str(), stored, actual));
+  return image;
+}
 
+}  // namespace
+
+CheckpointMeta load_checkpoint_meta(const std::string& path) {
+  const std::string image = read_verified_image(path);
+  Reader r(image.data() + sizeof(kMagic), image.size() - sizeof(kMagic) - 4);
+  const auto has_meta = r.pod<std::uint32_t>();
+  if (has_meta > 1)
+    throw std::runtime_error(
+        log::format("checkpoint: bad metadata flag %u", has_meta));
+  CheckpointMeta parsed;
+  if (has_meta == 1) {
+    parsed.epoch = r.pod<std::int64_t>();
+    parsed.learning_rate = r.pod<float>();
+  }
+  return parsed;
+}
+
+void load_checkpoint(Module& module, const std::string& path,
+                     CheckpointMeta* meta) {
+  const std::string image = read_verified_image(path);
   Reader r(image.data() + sizeof(kMagic),
            image.size() - sizeof(kMagic) - 4);
   const auto has_meta = r.pod<std::uint32_t>();

@@ -49,6 +49,13 @@ void save_checkpoint(const Module& module, const std::string& path,
 void load_checkpoint(Module& module, const std::string& path,
                      CheckpointMeta* meta = nullptr);
 
+/// Reads only the metadata of a checkpoint (magic and CRC32 footer are still
+/// fully verified; no parameters are touched). Lets a resume decide between
+/// candidate checkpoints — e.g. prefer the divergence-rollback last-good
+/// spill over an older periodic snapshot — without loading either into the
+/// module first. Throws std::runtime_error on corruption or I/O failure.
+CheckpointMeta load_checkpoint_meta(const std::string& path);
+
 /// CRC32 (IEEE 802.3, reflected) of `data[0..n)`, continuing from `crc`
 /// (pass 0 to start). Exposed for tests that hand-corrupt checkpoints.
 std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc = 0);

@@ -14,13 +14,15 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
 void Sgd::step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
-    const Tensor g = p.grad();
-    const float* gv = g.data();
+    // Read the leaf gradient buffer in place (grad() would deep-copy every
+    // step). An untouched gradient reads as zero, matching grad().
+    const tensor::Storage& gs = p.impl()->grad;
+    const float* gv = gs.empty() ? nullptr : gs.data();
     float* pv = p.data();
     float* vel = velocity_[i].data();
     const auto n = p.numel();
     for (std::int64_t j = 0; j < n; ++j) {
-      vel[j] = momentum_ * vel[j] + gv[j];
+      vel[j] = momentum_ * vel[j] + (gv ? gv[j] : 0.0f);
       pv[j] -= lr_ * vel[j];
     }
   }
@@ -48,14 +50,14 @@ void Adam::step() {
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
-    const Tensor g = p.grad();
-    const float* gv = g.data();
+    const tensor::Storage& gs = p.impl()->grad;
+    const float* gv = gs.empty() ? nullptr : gs.data();
     float* pv = p.data();
     float* m = m_[i].data();
     float* v = v_[i].data();
     const auto n = p.numel();
     for (std::int64_t j = 0; j < n; ++j) {
-      const float grad = gv[j];
+      const float grad = gv ? gv[j] : 0.0f;
       m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
       v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
       const float mhat = m[j] / bc1;

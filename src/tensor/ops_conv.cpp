@@ -128,9 +128,8 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
         const std::int64_t slots =
             std::max<std::int64_t>(1, std::min(d.N, kDwSlots));
         const std::int64_t per_slot = (d.N + slots - 1) / slots;
-        std::vector<float> dw_slots(
-            wi->requires_grad ? static_cast<size_t>(slots * d.Cout * CKK) : 0,
-            0.0f);
+        tensor::Storage dw_slots;
+        if (wi->requires_grad) dw_slots.assign(slots * d.Cout * CKK, 0.0f);
         parallel_for(
             slots,
             [&](std::int64_t s0, std::int64_t s1) {

@@ -19,8 +19,11 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const std::int64_t M = N * H * W;  // reduction size per channel
 
   // Per-channel statistics used for this pass.
-  auto mean = std::make_shared<std::vector<float>>(static_cast<size_t>(C));
-  auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(C));
+  // Pool-backed and captured by value below: the closure shares the block
+  // (refcount) instead of copying, and both buffers recycle once the tape
+  // node dies.
+  tensor::Storage mean = tensor::Storage::full(C, 0.0f);
+  tensor::Storage inv_std = tensor::Storage::full(C, 0.0f);
   const float* xv = x.data();
   if (training) {
     for (std::int64_t c = 0; c < C; ++c) {
@@ -39,8 +42,8 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         }
       }
       var /= static_cast<double>(M);
-      (*mean)[static_cast<size_t>(c)] = static_cast<float>(mu);
-      (*inv_std)[static_cast<size_t>(c)] =
+      mean[static_cast<size_t>(c)] = static_cast<float>(mu);
+      inv_std[static_cast<size_t>(c)] =
           static_cast<float>(1.0 / std::sqrt(var + eps));
       // Update running stats (not part of the tape).
       running_mean.data()[c] =
@@ -50,8 +53,8 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     }
   } else {
     for (std::int64_t c = 0; c < C; ++c) {
-      (*mean)[static_cast<size_t>(c)] = running_mean.data()[c];
-      (*inv_std)[static_cast<size_t>(c)] =
+      mean[static_cast<size_t>(c)] = running_mean.data()[c];
+      inv_std[static_cast<size_t>(c)] =
           1.0f / std::sqrt(running_var.data()[c] + eps);
     }
   }
@@ -69,8 +72,8 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         if (bi->requires_grad) bi->ensure_grad();
         if (xi->requires_grad) xi->ensure_grad();
         for (std::int64_t c = 0; c < C; ++c) {
-          const float mu = (*mean)[static_cast<size_t>(c)];
-          const float istd = (*inv_std)[static_cast<size_t>(c)];
+          const float mu = mean[static_cast<size_t>(c)];
+          const float istd = inv_std[static_cast<size_t>(c)];
           const float gam = gi->data[static_cast<size_t>(c)];
           // Channel-wise sums over the batch.
           double sum_g = 0.0, sum_gx = 0.0;
@@ -108,8 +111,8 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   float* ov = out.data();
   for (std::int64_t n = 0; n < N; ++n)
     for (std::int64_t c = 0; c < C; ++c) {
-      const float mu = (*mean)[static_cast<size_t>(c)];
-      const float istd = (*inv_std)[static_cast<size_t>(c)];
+      const float mu = mean[static_cast<size_t>(c)];
+      const float istd = inv_std[static_cast<size_t>(c)];
       const float gam = gamma.data()[c];
       const float bet = beta.data()[c];
       const float* xp = xv + (n * C + c) * H * W;
@@ -131,8 +134,8 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       << shape_str(beta.shape()) << " must match last dim of "
       << shape_str(x.shape());
 
-  auto mean = std::make_shared<std::vector<float>>(static_cast<size_t>(rows));
-  auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(rows));
+  tensor::Storage mean = tensor::Storage::full(rows, 0.0f);
+  tensor::Storage inv_std = tensor::Storage::full(rows, 0.0f);
   const float* xv = x.data();
   for (std::int64_t r = 0; r < rows; ++r) {
     const float* row = xv + r * D;
@@ -145,8 +148,8 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       var += d * d;
     }
     var /= static_cast<double>(D);
-    (*mean)[static_cast<size_t>(r)] = static_cast<float>(mu);
-    (*inv_std)[static_cast<size_t>(r)] =
+    mean[static_cast<size_t>(r)] = static_cast<float>(mu);
+    inv_std[static_cast<size_t>(r)] =
         static_cast<float>(1.0 / std::sqrt(var + eps));
   }
 
@@ -162,8 +165,8 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         if (bi->requires_grad) bi->ensure_grad();
         if (xi->requires_grad) xi->ensure_grad();
         for (std::int64_t r = 0; r < rows; ++r) {
-          const float mu = (*mean)[static_cast<size_t>(r)];
-          const float istd = (*inv_std)[static_cast<size_t>(r)];
+          const float mu = mean[static_cast<size_t>(r)];
+          const float istd = inv_std[static_cast<size_t>(r)];
           const float* grow = go + r * D;
           const float* xrow = xvv + r * D;
           double sum_dg = 0.0, sum_dgx = 0.0;
@@ -190,8 +193,8 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
 
   float* ov = out.data();
   for (std::int64_t r = 0; r < rows; ++r) {
-    const float mu = (*mean)[static_cast<size_t>(r)];
-    const float istd = (*inv_std)[static_cast<size_t>(r)];
+    const float mu = mean[static_cast<size_t>(r)];
+    const float istd = inv_std[static_cast<size_t>(r)];
     const float* xrow = xv + r * D;
     float* orow = ov + r * D;
     for (std::int64_t i = 0; i < D; ++i)

@@ -49,7 +49,7 @@ Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
   auto impl = std::make_shared<detail::TensorImpl>();
   const auto n = shape_numel(shape);
   impl->shape = std::move(shape);
-  impl->data.assign(static_cast<size_t>(n), value);
+  impl->data.assign(n, value);
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -61,7 +61,7 @@ Tensor Tensor::from_data(Shape shape, std::vector<float> data,
       << " disagrees with the data length";
   auto impl = std::make_shared<detail::TensorImpl>();
   impl->shape = std::move(shape);
-  impl->data = std::move(data);
+  impl->data.copy_from(data.data(), static_cast<std::int64_t>(data.size()));
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -147,7 +147,7 @@ void Tensor::set(std::initializer_list<std::int64_t> idx, float v) {
 
 std::vector<float> Tensor::to_vector() const {
   MFA_CHECK(impl_) << " to_vector() on undefined tensor";
-  return impl_->data;
+  return impl_->data.to_vector();
 }
 
 bool Tensor::requires_grad() const { return impl_ && impl_->requires_grad; }
@@ -161,7 +161,8 @@ Tensor& Tensor::set_requires_grad(bool on) {
 Tensor Tensor::grad() const {
   MFA_CHECK(impl_) << " grad() on undefined tensor";
   Tensor g = zeros(impl_->shape);
-  if (impl_->grad.size() == impl_->data.size()) g.impl_->data = impl_->grad;
+  if (impl_->grad.size() == impl_->data.size())
+    g.impl_->data.copy_from(impl_->grad);
   return g;
 }
 
@@ -239,6 +240,11 @@ void Tensor::backward() {
     if (scan_grads)
       for (const auto& parent : node->parents)
         last_writer[parent.get()] = tape_pos;
+    // The node is retired: its gradient was just fully scattered into the
+    // parents, and no later tape node reads it (reverse topo order), so the
+    // buffer goes back to the pool now instead of when the graph dies.
+    // Leaves (no backward_fn) keep their gradient for the optimizer.
+    node->grad.reset();
   }
 }
 
@@ -246,7 +252,7 @@ Tensor Tensor::detach() const {
   MFA_CHECK(impl_) << " detach() on undefined tensor";
   auto impl = std::make_shared<detail::TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;
+  impl->data.copy_from(impl_->data);
   impl->requires_grad = false;
   return Tensor(std::move(impl));
 }
@@ -273,7 +279,7 @@ void Tensor::fill_(float v) {
 
 void Tensor::copy_from(const Tensor& src) {
   MFA_CHECK_EQ(numel(), src.numel()) << " copy_from: size mismatch";
-  impl_->data = src.impl_->data;
+  impl_->data.copy_from(src.impl_->data);
 }
 
 Tensor Tensor::make_result(Shape shape, std::vector<Tensor> inputs,

@@ -9,7 +9,12 @@
 //  * Autograd is a dynamic tape: each op that produces a grad-requiring
 //    output records a closure that scatters the output gradient into its
 //    inputs. Tensor::backward() topologically sorts the captured graph and
-//    runs the closures in reverse order.
+//    runs the closures in reverse order. As each non-leaf node retires, its
+//    gradient buffer is released back to the storage pool (leaves keep
+//    theirs for the optimizer).
+//  * All buffers are tensor::Storage handles drawn from the recycling
+//    StoragePool (see tensor/storage.h), so steady-state training and
+//    inference loops stop allocating after a warm-up iteration.
 //  * GradMode (thread-local) disables tape construction for inference.
 #pragma once
 
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "tensor/storage.h"
 
 namespace mfa {
 
@@ -35,13 +41,14 @@ namespace detail {
 
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;  // lazily allocated, same length as data
+  tensor::Storage data;
+  tensor::Storage grad;  // lazily acquired from the pool, same length as data
   bool requires_grad = false;
   std::function<void()> backward_fn;                 // null for leaves
   std::vector<std::shared_ptr<TensorImpl>> parents;  // autograd edges
   void ensure_grad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+    if (grad.size() != data.size())
+      grad.assign(static_cast<std::int64_t>(data.size()), 0.0f);
   }
 };
 

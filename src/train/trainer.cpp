@@ -44,6 +44,10 @@ std::string checkpoint_path(const std::string& dir, std::int64_t epoch) {
       .string();
 }
 
+std::string last_good_path(const std::string& dir) {
+  return (fs::path(dir) / "last-good.bin").string();
+}
+
 std::string resume_from(nn::Module& module, const std::string& dir,
                         nn::CheckpointMeta* meta) {
   std::error_code ec;
@@ -130,20 +134,45 @@ FitReport Trainer::fit_resumable(models::CongestionModel& model,
                   loaded.c_str(), static_cast<long long>(meta.epoch),
                   static_cast<double>(lr));
       }
+      // Prefer the last-good spill when it is ahead of the periodic snapshot
+      // (it is written every healthy epoch, so after a crash it usually is).
+      // Peek the metadata first: blindly loading an *older* spill would
+      // clobber the newer parameters already in the module.
+      const std::string lg = last_good_path(options.checkpoint_dir);
+      std::error_code lg_ec;
+      if (options.spill_last_good && fs::is_regular_file(lg, lg_ec)) {
+        try {
+          const nn::CheckpointMeta lgm = nn::load_checkpoint_meta(lg);
+          if (lgm.epoch + 1 > start_epoch) {
+            nn::load_checkpoint(net, lg);
+            start_epoch = lgm.epoch + 1;
+            if (lgm.learning_rate > 0.0f) lr = lgm.learning_rate;
+            log::info("%s resuming from last-good spill %s (epoch %lld, "
+                      "lr %g)",
+                      model.name(), lg.c_str(),
+                      static_cast<long long>(lgm.epoch),
+                      static_cast<double>(lr));
+          }
+        } catch (const std::exception& e) {
+          log::warn("fit: rejecting last-good spill %s (%s)", lg.c_str(),
+                    e.what());
+        }
+      }
     }
   }
   report.start_epoch = start_epoch;
 
   auto params = net.parameters();
   // Last-good snapshot for divergence rollback: the parameters after the
-  // most recent healthy epoch (initially the starting weights).
-  std::vector<std::vector<float>> good;
+  // most recent healthy epoch (initially the starting weights). Held in
+  // pooled Storage that copy_from refills in place, so re-snapshotting every
+  // epoch allocates nothing after the first.
+  std::vector<tensor::Storage> good(params.size());
   double good_loss = 0.0;
   bool have_good_loss = false;
   const auto snapshot = [&] {
-    good.clear();
-    good.reserve(params.size());
-    for (const auto& p : params) good.push_back(p.to_vector());
+    for (size_t i = 0; i < params.size(); ++i)
+      good[i].copy_from(params[i].data(), params[i].numel());
   };
   const auto restore = [&] {
     for (size_t i = 0; i < params.size(); ++i) {
@@ -269,6 +298,16 @@ FitReport Trainer::fit_resumable(models::CongestionModel& model,
       nn::save_checkpoint(net, checkpoint_path(options.checkpoint_dir, epoch),
                           meta);
       ++report.checkpoints_written;
+    }
+    if (!options.checkpoint_dir.empty() && options.spill_last_good) {
+      // Crash-survivable rollback state: the in-memory `good` snapshot dies
+      // with the process, so mirror it to disk after every healthy epoch via
+      // the same atomic CRC-checked writer as the periodic checkpoints.
+      nn::CheckpointMeta meta;
+      meta.epoch = epoch;
+      meta.learning_rate = lr;
+      nn::save_checkpoint(net, last_good_path(options.checkpoint_dir), meta);
+      ++report.last_good_spills;
     }
     ++epoch;
   }

@@ -41,6 +41,11 @@ struct TrainOptions {
   double divergence_factor = 3.0;
   /// Rollback retries before giving up (each halves the learning rate).
   std::int64_t max_rollbacks = 3;
+  /// With a checkpoint_dir set, also spill the last-good snapshot to
+  /// last-good.bin after every healthy epoch (atomic v2 writer), so
+  /// divergence rollback state survives a crash: resume prefers the spill
+  /// over an older periodic checkpoint.
+  bool spill_last_good = true;
   // ---- wall-clock budget ----
   /// Budget for the whole fit (0 = unlimited), checked at epoch boundaries
   /// like the placer/router budgets: the epoch in flight when the clock runs
@@ -68,6 +73,8 @@ struct FitReport {
   /// True when time_budget_seconds stopped training before options.epochs.
   bool budget_exhausted = false;
   float final_learning_rate = 0.0f;
+  /// last-good.bin writes performed (one per healthy epoch when enabled).
+  std::int64_t last_good_spills = 0;
 };
 
 class Trainer {
@@ -99,6 +106,10 @@ std::string resume_from(nn::Module& module, const std::string& dir,
 
 /// Path of the snapshot for `epoch` inside `dir` (checkpoint-NNNNN.bin).
 std::string checkpoint_path(const std::string& dir, std::int64_t epoch);
+
+/// Path of the divergence-rollback last-good spill inside `dir`
+/// (last-good.bin; see TrainOptions::spill_last_good).
+std::string last_good_path(const std::string& dir);
 
 /// Stacks samples [i0, i1) into batched feature [B,6,H,W] and label [B,H,W]
 /// tensors (exposed for tests).

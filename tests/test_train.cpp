@@ -437,6 +437,100 @@ TEST(Trainer, BudgetFaultPointStopsFitImmediately) {
   EXPECT_EQ(report.epochs_run, 0);
 }
 
+TEST(Trainer, LastGoodSpillWrittenEveryHealthyEpochAndUsedOnResume) {
+  const auto samples = synthetic_samples(4, 3);
+  auto model = models::make_model("unet", tiny_config());
+  TempDir dir("spill");
+  TrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 2;
+  options.learning_rate = 5e-3f;
+  // A huge interval keeps periodic snapshots away except the final-epoch
+  // one, isolating the last-good spill.
+  options.checkpoint_interval = 100;
+  options.checkpoint_dir = dir.path;
+  const auto first = Trainer::fit_resumable(*model, samples, options);
+  EXPECT_EQ(first.last_good_spills, 3);
+  EXPECT_TRUE(fs::exists(last_good_path(dir.path)));
+  // Simulate a crash that lost the periodic final-epoch checkpoint but not
+  // the per-epoch spill: resume must pick the spill up and skip straight to
+  // epoch 3.
+  fs::remove(checkpoint_path(dir.path, 2));
+  auto restarted = models::make_model("unet", tiny_config());
+  options.epochs = 5;
+  const auto second = Trainer::fit_resumable(*restarted, samples, options);
+  EXPECT_EQ(second.start_epoch, 3)
+      << "resume should have adopted the last-good spill";
+  EXPECT_EQ(second.epochs_run, 2);
+}
+
+TEST(Trainer, LastGoodSpillDisabledWritesNothing) {
+  const auto samples = synthetic_samples(4, 3);
+  auto model = models::make_model("unet", tiny_config());
+  TempDir dir("nospill");
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 2;
+  options.checkpoint_dir = dir.path;
+  options.spill_last_good = false;
+  const auto report = Trainer::fit_resumable(*model, samples, options);
+  EXPECT_EQ(report.last_good_spills, 0);
+  EXPECT_FALSE(fs::exists(last_good_path(dir.path)));
+}
+
+TEST(Trainer, StaleLastGoodSpillDoesNotClobberNewerCheckpoint) {
+  const auto samples = synthetic_samples(4, 3);
+  auto model = models::make_model("unet", tiny_config());
+  TempDir dir("stale");
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 2;
+  options.checkpoint_dir = dir.path;
+  Trainer::fit_resumable(*model, samples, options);
+  // Age the spill: make it claim an older epoch than the newest periodic
+  // checkpoint (epoch 1). Resume must ignore it.
+  nn::CheckpointMeta stale;
+  stale.epoch = 0;
+  stale.learning_rate = 99.0f;
+  nn::save_checkpoint(model->network(), last_good_path(dir.path), stale);
+  auto restarted = models::make_model("unet", tiny_config());
+  options.epochs = 4;
+  const auto report = Trainer::fit_resumable(*restarted, samples, options);
+  EXPECT_EQ(report.start_epoch, 2)
+      << "the newer periodic checkpoint must win over a stale spill";
+  EXPECT_NE(report.final_learning_rate, 99.0f);
+}
+
+TEST(Trainer, CrashMidEpochRecoversFromSpillAlone) {
+  if (!common::FaultInjector::compiled_in())
+    GTEST_SKIP() << "fault injection compiled out (Release build)";
+  auto& fi = common::FaultInjector::instance();
+  fi.reset();
+  const auto samples = synthetic_samples(6, 3);  // 3 batches per epoch
+  auto model = models::make_model("unet", tiny_config());
+  TempDir dir("spillcrash");
+  TrainOptions options;
+  options.epochs = 4;
+  options.batch_size = 2;
+  options.learning_rate = 5e-3f;
+  options.checkpoint_dir = dir.path;
+  // No periodic snapshot ever fires before the crash (interval 100, and the
+  // final epoch dies): the spill is the ONLY recovery state on disk.
+  options.checkpoint_interval = 100;
+  fi.arm_nth("trainer.crash", 11);  // mid-epoch 4 (11th batch overall)
+  EXPECT_THROW(Trainer::fit_resumable(*model, samples, options),
+               std::runtime_error);
+  fi.reset();
+  EXPECT_FALSE(fs::exists(checkpoint_path(dir.path, 0)));
+  EXPECT_TRUE(fs::exists(last_good_path(dir.path)));
+  auto restarted = models::make_model("unet", tiny_config());
+  const auto report = Trainer::fit_resumable(*restarted, samples, options);
+  EXPECT_EQ(report.start_epoch, 3)
+      << "epochs 0-2 survived the crash via the last-good spill";
+  EXPECT_EQ(report.epochs_run, 1);
+  EXPECT_TRUE(std::isfinite(report.final_loss));
+}
+
 TEST(Trainer, EvaluateEmptySetReturnsZeros) {
   models::ModelConfig config;
   config.grid = 32;
