@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "features/features.h"
 #include "models/blocks.h"
 #include "models/congestion_model.h"
@@ -67,6 +69,50 @@ void BM_Conv2dTrainStep(benchmark::State& state) {
   for (auto _ : state) step();
 }
 BENCHMARK(BM_Conv2dTrainStep);
+
+/// Observability overhead pair: the same train step as BM_Conv2dTrainStep,
+/// but instrumented the way the trainer is (one trace span + a counter bump
+/// + a gauge set per step), run once with obs recording enabled and once
+/// with it disabled. scripts/bench.sh --check compares the pair and fails
+/// if the enabled run is more than 2% slower. obs_spans_per_iter documents
+/// which mode each run was in (1 when recording, 0 when disabled).
+void RunConv2dTrainStepObs(benchmark::State& state, bool obs_on) {
+  const bool prev = obs::enabled();
+  obs::set_enabled(obs_on);
+  Rng rng(2);
+  Tensor x = Tensor::randn({4, 8, 64, 64}, rng);
+  Tensor w = Tensor::randn({8, 8, 3, 3}, rng, 0.1f, /*requires_grad=*/true);
+  static obs::Counter steps = obs::counter("bench.conv2d_train_steps");
+  static obs::Gauge loss = obs::gauge("bench.conv2d_train_loss");
+  const auto step = [&] {
+    MFA_TRACE_SCOPE("bench.conv2d_train_step");
+    w.zero_grad();
+    Tensor y = ops::conv2d(x, w, Tensor(), 1, 1);
+    Tensor l = ops::sum(ops::mul(y, y));
+    l.backward();
+    steps.add();
+    loss.set(static_cast<double>(l.data()[0]));
+    benchmark::DoNotOptimize(w.grad().data());
+  };
+  step();  // warm-up: free lists and metric cells exist before the timed loop
+  const std::int64_t spans0 = obs::trace_total_recorded();
+  for (auto _ : state) step();
+  const auto iters = static_cast<double>(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(state.iterations())));
+  state.counters["obs_spans_per_iter"] =
+      static_cast<double>(obs::trace_total_recorded() - spans0) / iters;
+  obs::set_enabled(prev);
+}
+
+void BM_Conv2dTrainStepObsOn(benchmark::State& state) {
+  RunConv2dTrainStepObs(state, true);
+}
+BENCHMARK(BM_Conv2dTrainStepObsOn);
+
+void BM_Conv2dTrainStepObsOff(benchmark::State& state) {
+  RunConv2dTrainStepObs(state, false);
+}
+BENCHMARK(BM_Conv2dTrainStepObsOff);
 
 void BM_PredictLevels(benchmark::State& state) {
   Rng rng(7);

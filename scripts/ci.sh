@@ -20,6 +20,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:--j$(nproc)}"
 
+# Prints the 10 slowest tests of a ctest run (from its JUnit export): the
+# first place to look when a configuration's wall-time creeps up.
+report_slowest() {
+  local junit="$1" label="$2"
+  [ -f "${junit}" ] || return 0
+  JUNIT="${junit}" LABEL="${label}" python3 - <<'PY'
+import os, xml.etree.ElementTree as ET
+
+cases = []
+for tc in ET.parse(os.environ["JUNIT"]).getroot().iter("testcase"):
+    try:
+        cases.append((float(tc.get("time", "0")), tc.get("name", "?")))
+    except ValueError:
+        pass
+cases.sort(reverse=True)
+print(f"--- [{os.environ['LABEL']}] 10 slowest tests ---")
+for t, name in cases[:10]:
+    print(f"  {t:8.2f}s  {name}")
+PY
+}
+
 run_config() {
   local name="$1" build_type="$2" sanitize="$3"
   local dir="build-ci/${name}"
@@ -35,7 +56,9 @@ run_config() {
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   TSAN_OPTIONS="halt_on_error=1" \
   MFA_CHECK_FINITE_GRADS="${MFA_CI_FINITE_GRADS:-0}" \
-  ctest --test-dir "${dir}" --output-on-failure "${JOBS}"
+  ctest --test-dir "${dir}" --output-on-failure "${JOBS}" \
+    --output-junit ctest-junit.xml
+  report_slowest "${dir}/ctest-junit.xml" "${name}"
 }
 
 run_config release RelWithDebInfo ""
@@ -48,7 +71,9 @@ echo "=== [asan, MFA_POOL=off] test ==="
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 MFA_POOL=off \
-ctest --test-dir build-ci/asan --output-on-failure "${JOBS}"
+ctest --test-dir build-ci/asan --output-on-failure "${JOBS}" \
+  --output-junit ctest-junit-pool-off.xml
+report_slowest build-ci/asan/ctest-junit-pool-off.xml "asan, MFA_POOL=off"
 run_config tsan    Debug          thread
 # Fault-injection job: plain Debug compiles MFA_FAULT_POINT live, and the
 # finite-grad guard env default exercises the dirty-set NaN scan everywhere.

@@ -28,6 +28,7 @@
 //     place.budget                   placer wall-clock budget reads exhausted
 //     route.budget                   router wall-clock budget reads exhausted
 //     trainer.budget                 trainer wall-clock budget reads exhausted
+//     obs.export                     a metrics snapshot source fails mid-export
 #pragma once
 
 #include <cstdint>

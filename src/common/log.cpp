@@ -1,7 +1,11 @@
 #include "common/log.h"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 namespace mfa::log {
@@ -9,11 +13,58 @@ namespace {
 
 std::atomic<Level> g_level{Level::Info};
 
+// Writes the whole buffer to stderr with one write(2) per attempt, retrying
+// EINTR and short writes. A single write of a complete line is what keeps
+// concurrent loggers from shearing each other's output: POSIX appends each
+// write atomically for pipes/regular files of sane line sizes, whereas the
+// previous three-stdio-call implementation interleaved fragments from
+// parallel_for workers mid-line.
+void write_all(const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::write(STDERR_FILENO, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // logging must never throw; drop on a dead fd
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
 void vemit(Level lvl, const char* tag, const char* fmt, va_list args) {
   if (static_cast<int>(lvl) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] ", tag);
-  std::vfprintf(stderr, fmt, args);
-  std::fputc('\n', stderr);
+
+  // Format "[tag] message\n" into one contiguous buffer, then emit it with
+  // a single atomic append. Stack buffer covers virtually every message;
+  // longer ones take one heap allocation.
+  char stack_buf[512];
+  va_list copy;
+  va_copy(copy, args);
+  int prefix = std::snprintf(stack_buf, sizeof(stack_buf), "[%s] ", tag);
+  if (prefix < 0) {
+    va_end(copy);
+    return;
+  }
+  int body = std::vsnprintf(stack_buf + prefix,
+                            sizeof(stack_buf) - static_cast<size_t>(prefix),
+                            fmt, args);
+  if (body < 0) {
+    va_end(copy);
+    return;
+  }
+  size_t total = static_cast<size_t>(prefix) + static_cast<size_t>(body);
+  if (total + 1 < sizeof(stack_buf)) {  // +1 for the trailing newline
+    stack_buf[total] = '\n';
+    write_all(stack_buf, total + 1);
+  } else {
+    std::vector<char> buf(total + 2);
+    std::snprintf(buf.data(), buf.size(), "[%s] ", tag);
+    std::vsnprintf(buf.data() + prefix, buf.size() - static_cast<size_t>(prefix),
+                   fmt, copy);
+    buf[total] = '\n';
+    write_all(buf.data(), total + 1);
+  }
+  va_end(copy);
 }
 
 }  // namespace

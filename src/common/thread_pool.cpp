@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "common/metrics.h"
+
 namespace mfa::common {
 
 namespace {
@@ -50,6 +52,18 @@ bool ThreadPool::in_parallel_region() { return g_region_depth > 0; }
 ThreadPool::ThreadPool() {
   size_ = default_size();
   spawn_workers(size_ - 1);  // the submitting caller is participant #0
+  // Adopt the pool's counters into the metrics registry: they show up in
+  // metrics_json() snapshots without a second set of bumps on the dispatch
+  // path. `this` is the function-local static from instance(), which
+  // outlives every snapshot taken while the process is doing work.
+  obs::Registry::instance().register_source("thread_pool", [this] {
+    return std::vector<std::pair<std::string, double>>{
+        {"size", static_cast<double>(size())},
+        {"jobs", static_cast<double>(jobs_run())},
+        {"inline_runs", static_cast<double>(inline_runs())},
+        {"chunks", static_cast<double>(chunks_run())},
+    };
+  });
 }
 
 ThreadPool::~ThreadPool() { join_workers(); }
@@ -121,8 +135,12 @@ void ThreadPool::run(std::int64_t n, std::int64_t chunk, Kernel kernel,
   // One region at a time. A second top-level caller racing in runs its loop
   // inline rather than blocking: it would otherwise just idle while the pool
   // is busy, and inline execution keeps results identical anyway.
+  const std::uint64_t n_chunks =
+      static_cast<std::uint64_t>((n + chunk - 1) / chunk);
   std::unique_lock<std::mutex> submit_lock(submit_mutex_, std::try_to_lock);
   if (!submit_lock.owns_lock() || workers_.empty()) {
+    inline_runs_.fetch_add(1, std::memory_order_relaxed);
+    chunks_run_.fetch_add(n_chunks, std::memory_order_relaxed);
     const RegionGuard guard;
     std::exception_ptr error;
     for (std::int64_t begin = 0; begin < n; begin += chunk) {
@@ -142,6 +160,7 @@ void ThreadPool::run(std::int64_t n, std::int64_t chunk, Kernel kernel,
   job.n = n;
   job.chunk = chunk;
   jobs_run_.fetch_add(1, std::memory_order_relaxed);
+  chunks_run_.fetch_add(n_chunks, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job_ = &job;

@@ -71,6 +71,15 @@ class ThreadPool {
   /// the scheduler.
   std::uint64_t jobs_run() const { return jobs_run_.load(); }
 
+  /// Regions that ran inline on the caller (size-1 pool, nested regions
+  /// filtered by parallel_for don't reach here, submit-race losers do).
+  std::uint64_t inline_runs() const { return inline_runs_.load(); }
+
+  /// Total chunks claimed across all regions (dispatched and inline); the
+  /// dynamic scheduler's unit of work. chunks/jobs approximates how finely
+  /// regions are being sliced.
+  std::uint64_t chunks_run() const { return chunks_run_.load(); }
+
   /// True once instance() has been called (without forcing construction).
   static bool initialized();
 
@@ -118,6 +127,8 @@ class ThreadPool {
   bool stop_ = false;
   std::mutex submit_mutex_;
   std::atomic<std::uint64_t> jobs_run_{0};
+  std::atomic<std::uint64_t> inline_runs_{0};
+  std::atomic<std::uint64_t> chunks_run_{0};
 };
 
 }  // namespace mfa::common

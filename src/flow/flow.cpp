@@ -9,6 +9,8 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "features/features.h"
 #include "place/legalizer.h"
 #include "tensor/ops.h"
@@ -32,6 +34,9 @@ FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
   if (strategy == Strategy::Ours && model == nullptr)
     throw std::invalid_argument("flow: Strategy::Ours needs a trained model");
   const auto t_start = Clock::now();
+  MFA_TRACE_SCOPE("flow.run");
+  static obs::Counter obs_rounds = obs::counter("flow.rounds");
+  static obs::Counter obs_fallbacks = obs::counter("flow.fallbacks");
   FlowResult result;
 
   // ---- stage 1: cascade clustering ----
@@ -46,10 +51,13 @@ FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
     popt.spread_interval = std::max<std::int64_t>(2, popt.spread_interval / 2);
   }
   place::GlobalPlacer placer(problem, popt);
-  placer.init_random();
-  placer.run_until_overflow_target();
-  if (placer.total_iterations() < options_.min_gp_iterations)
-    placer.iterate(options_.min_gp_iterations - placer.total_iterations());
+  {
+    MFA_TRACE_SCOPE("flow.gp");
+    placer.init_random();
+    placer.run_until_overflow_target();
+    if (placer.total_iterations() < options_.min_gp_iterations)
+      placer.iterate(options_.min_gp_iterations - placer.total_iterations());
+  }
 
   // ---- stage 3: congestion prediction + inflation rounds ----
   features::FeatureOptions fopt;
@@ -64,6 +72,8 @@ FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
            predict_spent_seconds > options_.predictor_time_budget_seconds;
   };
   for (std::int64_t round = 0; round < options_.inflation_rounds; ++round) {
+    MFA_TRACE_SCOPE("flow.round");
+    obs_rounds.add();
     placer.placement().expand(problem, cell_x, cell_y);
     std::vector<float> levels;
     bool use_analytic = strategy != Strategy::Ours;
@@ -79,8 +89,10 @@ FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
       result.incidents.push_back(
           {round, "predict",
            "predictor wall-clock budget exhausted; used analytic estimate"});
+      obs_fallbacks.add();
       use_analytic = true;
     } else if (strategy == Strategy::Ours) {
+      MFA_TRACE_SCOPE("flow.predict");
       const auto predict_start = Clock::now();
       try {
         // Model input uses the normalised feature stack it was trained on.
@@ -107,6 +119,7 @@ FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
             {round, "predict",
              std::string("ML predictor failed, used analytic fallback: ") +
                  e.what()});
+        obs_fallbacks.add();
         use_analytic = true;
       }
       predict_spent_seconds +=
@@ -120,14 +133,21 @@ FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
       levels = analytic_levels(
           strategy == Strategy::Ours ? Strategy::Utda : strategy, feats);
     }
-    const auto stats = place::apply_inflation(
-        problem, placer.placement(), levels, options_.grid, options_.grid,
-        options_.inflation);
-    inflated += stats.inflated_objects;
-    placer.iterate(options_.post_inflation_iterations);
+    {
+      MFA_TRACE_SCOPE("flow.inflate");
+      const auto stats = place::apply_inflation(
+          problem, placer.placement(), levels, options_.grid, options_.grid,
+          options_.inflation);
+      inflated += stats.inflated_objects;
+    }
+    {
+      MFA_TRACE_SCOPE("flow.place");
+      placer.iterate(options_.post_inflation_iterations);
+    }
   }
 
   // ---- stage 4: macro legalisation ----
+  MFA_TRACE_SCOPE("flow.legalize_and_route");
   place::Placement placement = placer.placement();
   const auto legal = place::Legalizer::legalize_macros(problem, placement);
   if (!legal.success)
@@ -178,6 +198,25 @@ FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
                             result.t_pr_hours);
   result.inflated_objects = inflated;
   return result;
+}
+
+std::string FlowResult::metrics_json() const {
+  std::string out = "{\"report\":{";
+  out += log::format(
+      "\"s_ir\":%.17g,\"s_dr\":%.17g,\"s_r\":%.17g,\"s_score\":%.17g,"
+      "\"t_pr_hours\":%.17g,\"t_macro_minutes\":%.17g,"
+      "\"detailed_iterations\":%lld,\"routed_wirelength\":%.17g,"
+      "\"placed_wirelength\":%.17g,\"inflated_objects\":%lld,"
+      "\"incidents\":%lld,\"budget_exhausted\":%s",
+      s_ir, s_dr, s_r, s_score, t_pr_hours, t_macro_minutes,
+      static_cast<long long>(detailed_iterations), routed_wirelength,
+      placed_wirelength, static_cast<long long>(inflated_objects),
+      static_cast<long long>(incidents.size()),
+      budget_exhausted ? "true" : "false");
+  out += "},\"metrics\":";
+  out += obs::Registry::instance().metrics_json();
+  out += "}";
+  return out;
 }
 
 }  // namespace mfa::flow

@@ -78,6 +78,12 @@ struct FlowResult {
   /// True when a wall-clock budget stopped the placer or router early; the
   /// scores describe the best partial result.
   bool budget_exhausted = false;
+
+  /// JSON view of this result plus the process metrics registry snapshot:
+  /// {"report":{...},"metrics":{...}}. The metrics half carries the obs
+  /// counters/histograms recorded during run() (per-stage timings, predictor
+  /// fallbacks, router rip-ups); with MFA_OBS=off it is just "{}".
+  std::string metrics_json() const;
 };
 
 class RoutabilityDrivenPlacer {

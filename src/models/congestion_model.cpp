@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/trace.h"
 #include "models/mfa_net.h"
 #include "models/pgnn.h"
 #include "models/pros2.h"
@@ -11,6 +12,7 @@
 namespace mfa::models {
 
 Tensor CongestionModel::predict_levels(const Tensor& features) {
+  MFA_TRACE_SCOPE("model.predict");
   auto& net = network();
   const bool was_training = net.is_training();
   net.train(false);

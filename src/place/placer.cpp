@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace mfa::place {
 
@@ -158,6 +160,10 @@ void GlobalPlacer::solve_potentials() {
 
 std::int64_t GlobalPlacer::iterate(std::int64_t n) {
   using Clock = std::chrono::steady_clock;
+  MFA_TRACE_SCOPE("placer.iterate");
+  static obs::Counter obs_iters = obs::counter("placer.iterations");
+  static obs::Histogram obs_overflow =
+      obs::histogram("placer.overflow_permille");
   const auto nobj = problem_->num_objects();
   std::vector<double> fx(static_cast<size_t>(nobj));
   std::vector<double> fy(static_cast<size_t>(nobj));
@@ -275,10 +281,20 @@ std::int64_t GlobalPlacer::iterate(std::int64_t n) {
     // ---- lookahead spreading ----
     ++global_iter_;
     ++done;
+    obs_iters.add();
     const bool last = (it == n - 1);
     if (last || global_iter_ % options_.spread_interval == 0) {
+      MFA_TRACE_SCOPE("placer.spread");
       spread_macros();
       spread_cells();
+    }
+    if (last) {
+      // One histogram sample per iterate() call, not per iteration: the
+      // worst per-resource overflow in integer permille (log2 buckets make
+      // 0 / <1% / coarse-over-capacity regimes distinguishable).
+      const auto of = overflow();
+      const double worst = *std::max_element(of.begin(), of.end());
+      obs_overflow.record(static_cast<std::int64_t>(worst * 1000.0));
     }
   }
   budget_spent_seconds_ +=

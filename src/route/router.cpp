@@ -10,6 +10,8 @@
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace mfa::route {
 namespace {
@@ -300,6 +302,7 @@ GlobalRouter::~GlobalRouter() = default;
 
 void GlobalRouter::initial_route(const std::vector<double>& cell_x,
                                  const std::vector<double>& cell_y) {
+  MFA_TRACE_SCOPE("router.initial_route");
   auto& im = *impl_;
   MFA_CHECK(cell_x.size() == cell_y.size() &&
             cell_x.size() >= im.design->cells.size())
@@ -383,6 +386,11 @@ void GlobalRouter::initial_route(const std::vector<double>& cell_x,
 
 std::int64_t GlobalRouter::detailed_route() {
   using Clock = std::chrono::steady_clock;
+  MFA_TRACE_SCOPE("router.detailed_route");
+  static obs::Counter obs_rounds = obs::counter("router.negotiation_rounds");
+  static obs::Counter obs_ripups = obs::counter("router.ripups");
+  static obs::Counter obs_maze = obs::counter("router.maze_reroutes");
+  static obs::Histogram obs_overused = obs::histogram("router.overused");
   auto& im = *impl_;
   im.pressure = 1.0;
   im.budget_exhausted = false;
@@ -398,6 +406,9 @@ std::int64_t GlobalRouter::detailed_route() {
   std::int64_t stalled = 0;
   while (iterations < im.options.max_detailed_iterations) {
     const auto overused = im.grid.overused_count(1.0);
+    // Overflow history: one sample per negotiation round, so the histogram
+    // shape shows how fast congestion collapsed (or that it plateaued).
+    obs_overused.record(overused);
     if (overused == 0) break;
     if (budget_spent()) {
       // Budget exhausted: keep the best routing found so far (every
@@ -422,6 +433,7 @@ std::int64_t GlobalRouter::detailed_route() {
                                      : iterations;
     }
     ++iterations;
+    obs_rounds.add();
     if (std::getenv("MFA_ROUTER_TRACE"))
       std::fprintf(stderr, "[router] iter %lld overused %lld\n",
                    static_cast<long long>(iterations),
@@ -432,14 +444,21 @@ std::int64_t GlobalRouter::detailed_route() {
     // built up, overused connections fall back to A* maze rerouting
     // (the PathFinder negotiation step).
     const bool use_maze = iterations >= 2;
+    std::int64_t ripups = 0;
+    std::int64_t mazed = 0;
     for (auto& conn : im.connections) {
       if (!im.crosses_overused(conn)) continue;
       im.apply(conn, -1.0);
-      if (use_maze)
+      ++ripups;
+      if (use_maze) {
         im.maze_route(conn);
-      else
+        ++mazed;
+      } else {
         im.route_connection(conn);
+      }
     }
+    obs_ripups.add(ripups);
+    obs_maze.add(mazed);
   }
   return iterations;
 }

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace mfa::tensor {
 
@@ -144,6 +145,25 @@ struct StoragePool::Impl {
 
 StoragePool::StoragePool() : impl_(new Impl) {
   impl_->enabled.store(env_pool_enabled(), std::memory_order_relaxed);
+  // Adopt the pool's existing counters into the metrics registry so
+  // metrics_json() snapshots include allocator behaviour without adding a
+  // second bump to the acquire/release hot path. `this` is the leaked
+  // instance() singleton, so the callback never dangles.
+  obs::Registry::instance().register_source("storage_pool", [this] {
+    const PoolStats s = stats();
+    return std::vector<std::pair<std::string, double>>{
+        {"hits", static_cast<double>(s.hits)},
+        {"misses", static_cast<double>(s.misses)},
+        {"releases", static_cast<double>(s.releases)},
+        {"heap_frees", static_cast<double>(s.heap_frees)},
+        {"live_floats", static_cast<double>(s.live_floats)},
+        {"live_floats_high_water",
+         static_cast<double>(s.live_floats_high_water)},
+        {"cached_floats", static_cast<double>(s.cached_floats)},
+        {"cached_floats_high_water",
+         static_cast<double>(s.cached_floats_high_water)},
+    };
+  });
 }
 
 StoragePool& StoragePool::instance() {

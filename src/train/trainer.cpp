@@ -12,6 +12,8 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "nn/optim.h"
 #include "tensor/ops.h"
 
@@ -196,8 +198,16 @@ FitReport Trainer::fit_resumable(models::CongestionModel& model,
             .count();
     return elapsed > options.time_budget_seconds;
   };
+  MFA_TRACE_SCOPE("trainer.fit");
+  static obs::Counter obs_epochs = obs::counter("trainer.epochs");
+  static obs::Counter obs_batches = obs::counter("trainer.batches");
+  static obs::Counter obs_rollbacks = obs::counter("trainer.rollbacks");
+  static obs::Counter obs_checkpoints = obs::counter("trainer.checkpoints");
+  static obs::Counter obs_spills = obs::counter("trainer.spills");
+  static obs::Gauge obs_loss = obs::gauge("trainer.loss");
   std::int64_t epoch = start_epoch;
   while (epoch < options.epochs) {
+    MFA_TRACE_SCOPE("trainer.epoch");
     if (budget_spent()) {
       report.budget_exhausted = true;
       log::warn("%s wall-clock budget (%g s) exhausted after %lld epochs; "
@@ -237,6 +247,7 @@ FitReport Trainer::fit_resumable(models::CongestionModel& model,
         optimizer->step();
         epoch_loss += batch_loss;
         ++batches;
+        obs_batches.add();
       }
     } catch (const check::CheckError& e) {
       // The numeric stack detected a broken invariant (e.g. the finite-grad
@@ -268,6 +279,7 @@ FitReport Trainer::fit_resumable(models::CongestionModel& model,
         break;
       }
       ++report.rollbacks;
+      obs_rollbacks.add();
       lr *= 0.5f;
       optimizer = std::make_unique<nn::Adam>(params, lr);
       log::warn("%s epoch %lld diverged (%s); rolled back, lr -> %g "
@@ -284,6 +296,8 @@ FitReport Trainer::fit_resumable(models::CongestionModel& model,
     have_good_loss = true;
     final_loss = epoch_loss;
     ++report.epochs_run;
+    obs_epochs.add();
+    obs_loss.set(epoch_loss);
     if (options.verbose)
       log::info("%s epoch %lld/%lld loss %.4f", model.name(),
                 static_cast<long long>(epoch + 1),
@@ -298,6 +312,7 @@ FitReport Trainer::fit_resumable(models::CongestionModel& model,
       nn::save_checkpoint(net, checkpoint_path(options.checkpoint_dir, epoch),
                           meta);
       ++report.checkpoints_written;
+      obs_checkpoints.add();
     }
     if (!options.checkpoint_dir.empty() && options.spill_last_good) {
       // Crash-survivable rollback state: the in-memory `good` snapshot dies
@@ -308,6 +323,7 @@ FitReport Trainer::fit_resumable(models::CongestionModel& model,
       meta.learning_rate = lr;
       nn::save_checkpoint(net, last_good_path(options.checkpoint_dir), meta);
       ++report.last_good_spills;
+      obs_spills.add();
     }
     ++epoch;
   }
@@ -316,6 +332,25 @@ FitReport Trainer::fit_resumable(models::CongestionModel& model,
                                      : final_loss;
   report.final_learning_rate = lr;
   return report;
+}
+
+std::string FitReport::metrics_json() const {
+  std::string out = "{\"report\":{";
+  out += log::format(
+      "\"final_loss\":%.17g,\"epochs_run\":%lld,\"start_epoch\":%lld,"
+      "\"rollbacks\":%lld,\"checkpoints_written\":%lld,\"diverged\":%s,"
+      "\"budget_exhausted\":%s,\"final_learning_rate\":%.9g,"
+      "\"last_good_spills\":%lld",
+      final_loss, static_cast<long long>(epochs_run),
+      static_cast<long long>(start_epoch), static_cast<long long>(rollbacks),
+      static_cast<long long>(checkpoints_written),
+      diverged ? "true" : "false", budget_exhausted ? "true" : "false",
+      static_cast<double>(final_learning_rate),
+      static_cast<long long>(last_good_spills));
+  out += "},\"metrics\":";
+  out += obs::Registry::instance().metrics_json();
+  out += "}";
+  return out;
 }
 
 EvalResult Trainer::evaluate(models::CongestionModel& model,

@@ -75,6 +75,12 @@ struct FitReport {
   float final_learning_rate = 0.0f;
   /// last-good.bin writes performed (one per healthy epoch when enabled).
   std::int64_t last_good_spills = 0;
+
+  /// JSON view of this report plus the process metrics registry snapshot:
+  /// {"report":{...},"metrics":{...}}. The metrics half carries the obs
+  /// counters/histograms the fit recorded (trainer.epoch timings, rollback
+  /// counts, pool/thread-pool stats); with MFA_OBS=off it is just "{}".
+  std::string metrics_json() const;
 };
 
 class Trainer {

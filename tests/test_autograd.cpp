@@ -265,6 +265,48 @@ TEST(Autograd, LayerNorm) {
       {x, gamma, beta}, /*tol=*/8e-2f);
 }
 
+// The batch_norm2d / layer_norm backward closures capture the pooled mean /
+// inv_std Storage blocks by value; those blocks come from the StoragePool
+// and must stay pinned (refcounted) until backward runs. Churn the pool
+// between forward and backward: if the closures' blocks were wrongly
+// recycled, the churn tensors would overwrite them and the analytic
+// gradients would diverge from the numeric ones.
+TEST(Autograd, BatchNormPooledStatsSurvivePoolChurn) {
+  Tensor x = make_input({2, 2, 3, 3}, 60);
+  Tensor gamma = make_input({2}, 61);
+  Tensor beta = make_input({2}, 62);
+  expect_gradcheck(
+      [&] {
+        Tensor rm = Tensor::zeros({2});
+        Tensor rv = Tensor::ones({2});
+        Tensor y = ops::batch_norm2d(x, gamma, beta, rm, rv, /*training=*/true);
+        // Same size class as the captured per-channel mean/inv_std blocks.
+        for (int i = 0; i < 16; ++i) {
+          Tensor churn = Tensor::zeros({2});
+          churn.data()[0] = 123.0f;
+        }
+        return sum(mul(y, y));
+      },
+      {x, gamma, beta}, /*tol=*/8e-2f);
+}
+
+TEST(Autograd, LayerNormPooledStatsSurvivePoolChurn) {
+  Tensor x = make_input({3, 8}, 63, 2.0f);
+  Tensor gamma = make_input({8}, 64);
+  Tensor beta = make_input({8}, 65);
+  expect_gradcheck(
+      [&] {
+        Tensor y = ops::layer_norm(x, gamma, beta);
+        // Same size class as the captured per-row mean/inv_std blocks.
+        for (int i = 0; i < 16; ++i) {
+          Tensor churn = Tensor::zeros({3});
+          churn.data()[0] = 123.0f;
+        }
+        return sum(mul(y, y));
+      },
+      {x, gamma, beta}, /*tol=*/8e-2f);
+}
+
 TEST(Autograd, ClampMin) {
   Tensor a = make_input({8}, 49);
   for (std::int64_t i = 0; i < a.numel(); ++i)

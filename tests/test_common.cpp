@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/log.h"
@@ -75,6 +81,71 @@ TEST(Log, LevelRoundTrips) {
   log::debug("suppressed %d", 1);
   log::info("suppressed %d", 2);
   log::set_level(prev);
+}
+
+// Regression for the PR 3-era line shearing: the sink used three separate
+// stdio calls per message ("[tag] ", body, '\n'), so messages emitted from
+// parallel_for workers could interleave mid-line. The sink now formats the
+// whole line into one buffer and emits it with a single write(2) append, so
+// every line in the captured stream must be intact. The test redirects
+// stderr (fd 2) to a file, hammers the logger from many threads, and checks
+// each captured line against the exact set of expected lines.
+TEST(Log, ConcurrentLoggersDoNotShearLines) {
+  const std::string path = ::testing::TempDir() + "log_shear_capture.txt";
+  const int kThreads = 8;
+  const int kLines = 200;
+
+  const int saved_fd = dup(STDERR_FILENO);
+  ASSERT_GE(saved_fd, 0);
+  FILE* capture = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(capture, nullptr);
+  ASSERT_GE(dup2(fileno(capture), STDERR_FILENO), 0);
+
+  const auto prev = log::level();
+  log::set_level(log::Level::Info);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        for (int i = 0; i < kLines; ++i)
+          log::info("shear-check thread=%d line=%d payload=%s", t, i,
+                    "abcdefghijklmnopqrstuvwxyz0123456789");
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  log::set_level(prev);
+
+  // Restore stderr before asserting, so gtest failure output is visible.
+  fflush(nullptr);
+  dup2(saved_fd, STDERR_FILENO);
+  close(saved_fd);
+  std::fclose(capture);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<int> seen(static_cast<size_t>(kThreads) * kLines, 0);
+  std::string line;
+  std::int64_t total = 0;
+  while (std::getline(in, line)) {
+    ++total;
+    int t = -1, i = -1;
+    char payload[64] = {0};
+    const int matched =
+        std::sscanf(line.c_str(),
+                    "[info] shear-check thread=%d line=%d payload=%63s", &t,
+                    &i, payload);
+    ASSERT_EQ(matched, 3) << "sheared or malformed line: \"" << line << "\"";
+    ASSERT_STREQ(payload, "abcdefghijklmnopqrstuvwxyz0123456789")
+        << "sheared payload in line: \"" << line << "\"";
+    ASSERT_TRUE(t >= 0 && t < kThreads && i >= 0 && i < kLines);
+    ++seen[static_cast<size_t>(t) * kLines + i];
+  }
+  in.close();
+  std::remove(path.c_str());
+  EXPECT_EQ(total, static_cast<std::int64_t>(kThreads) * kLines);
+  for (int v : seen) EXPECT_EQ(v, 1);
 }
 
 }  // namespace

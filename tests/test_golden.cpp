@@ -1,0 +1,195 @@
+// Golden end-to-end determinism gate.
+//
+// Runs the full pipeline — synthetic netlist -> 2-epoch training -> model
+// congestion prediction -> inflation -> further placement -> legalisation ->
+// routing -> congestion analysis — at a fixed seed, and hashes the final
+// placement coordinates plus the congestion-level map with FNV-1a. The hash
+// must be bit-identical across MFA_THREADS in {1, 4} x MFA_POOL in
+// {on, off}: this turns the PR 3 (thread-count invariance) and PR 4 (pool
+// bitwise-transparency) claims into one durable regression gate, with the
+// observability layer live while it runs (spans and counters must never
+// perturb numerics).
+//
+// The hash is additionally pinned to a constant captured on the CI box. If
+// an intentional numeric change (new placer schedule, different feature
+// normalisation, ...) moves it, every configuration must still agree; update
+// kGoldenHash to the value printed in the failure message.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "features/features.h"
+#include "models/congestion_model.h"
+#include "netlist/generator.h"
+#include "place/inflation.h"
+#include "place/legalizer.h"
+#include "place/placer.h"
+#include "route/router.h"
+#include "tensor/ops.h"
+#include "tensor/storage.h"
+#include "train/dataset.h"
+#include "train/trainer.h"
+
+namespace mfa {
+namespace {
+
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ULL;
+  void bytes(const void* p, size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void f64(double v) { bytes(&v, sizeof(v)); }
+  void f32(float v) { bytes(&v, sizeof(v)); }
+  void i32(std::int32_t v) { bytes(&v, sizeof(v)); }
+};
+
+// One full pipeline run at fixed seeds; returns the FNV-1a hash of the final
+// placement and the routed congestion-level map. Everything that could
+// perturb determinism (placer RNG, trainer shuffle, model init) is seeded
+// explicitly; wall-clock-dependent paths (budgets) are left disabled.
+std::uint64_t run_pipeline_hash() {
+  const auto device = fpga::DeviceGrid::make_xcvu3p_like(40, 32);
+  netlist::DesignSpec spec = netlist::mlcad2023_spec("Design_116");
+  spec.lut_util *= 0.4;
+  spec.ff_util *= 0.4;
+  spec.dsp_util *= 0.6;
+  spec.bram_util *= 0.6;
+
+  // ---- stage 1: dataset from synthetic placements ----
+  train::DatasetOptions dopt;
+  dopt.grid = 32;
+  dopt.placements_per_design = 2;
+  dopt.augment_rotations = false;
+  dopt.placer_iterations = 40;
+  dopt.seed = 7;
+  const auto samples =
+      train::DatasetBuilder::build_for_design(spec, device, dopt);
+
+  // ---- stage 2: 2-epoch training ----
+  models::ModelConfig config;
+  config.grid = 32;
+  config.base_channels = 4;
+  config.transformer_layers = 1;
+  config.seed = 3;
+  auto model = models::make_model("ours", config);
+  train::TrainOptions topt;
+  topt.epochs = 2;
+  topt.batch_size = 2;
+  topt.seed = 1;
+  topt.resume = false;
+  train::Trainer::fit(*model, samples, topt);
+
+  // ---- stage 3: place, predict, inflate, place more ----
+  const auto design = netlist::DesignGenerator::generate(spec, device);
+  place::PlacementProblem problem(design, device);
+  place::PlacerOptions popt;
+  popt.seed = 5;
+  place::GlobalPlacer placer(problem, popt);
+  placer.init_random();
+  placer.iterate(40);
+
+  std::vector<double> cx, cy;
+  placer.placement().expand(problem, cx, cy);
+  features::FeatureOptions fopt;
+  fopt.grid_width = 32;
+  fopt.grid_height = 32;
+  Tensor feats = features::extract_features(design, device, cx, cy, fopt);
+  Tensor batched =
+      ops::reshape(feats, {1, feats.size(0), feats.size(1), feats.size(2)});
+  Tensor pred = model->predict_levels(batched);
+  std::vector<float> levels(pred.data(), pred.data() + pred.numel());
+
+  place::apply_inflation(problem, placer.placement(), levels, 32, 32,
+                         place::InflationOptions{});
+  placer.iterate(15);
+
+  // ---- stage 4: legalise ----
+  place::Placement placement = placer.placement();
+  place::Legalizer::legalize_macros(problem, placement);
+  placement.expand(problem, cx, cy);
+
+  // ---- stage 5: route + analyse ----
+  route::RouterOptions ropt = route::calibrated_router_options(device, 32, 32);
+  route::GlobalRouter router(design, device, ropt);
+  router.initial_route(cx, cy);
+  router.detailed_route();
+  const route::CongestionAnalysis analysis = router.analyze();
+
+  Fnv1a fnv;
+  for (double v : cx) fnv.f64(v);
+  for (double v : cy) fnv.f64(v);
+  for (const auto& per_class : analysis.levels) {
+    for (const auto& lm : per_class) {
+      fnv.i32(lm.design_level);
+      for (std::int32_t l : lm.level) fnv.i32(l);
+    }
+  }
+  for (float v : analysis.label) fnv.f32(v);
+  return fnv.h;
+}
+
+// Captured on the CI box (x86-64, gcc 12, no -ffast-math anywhere in the
+// build): scalar-source kernels with fixed reduction order make the result
+// independent of optimisation level, thread count, and pool mode.
+constexpr std::uint64_t kGoldenHash = 0xb60d3b1dc5309ff8ULL;
+
+struct GoldenConfig {
+  int threads;
+  bool pool;
+};
+
+TEST(Golden, EndToEndHashIsBitIdenticalAcrossThreadAndPoolConfigs) {
+  auto& thread_pool = common::ThreadPool::instance();
+  auto& storage_pool = tensor::StoragePool::instance();
+  const bool pool_was_enabled = storage_pool.enabled();
+
+  const GoldenConfig configs[] = {
+      {1, true}, {4, true}, {1, false}, {4, false}};
+  std::vector<std::uint64_t> hashes;
+  for (const auto& cfg : configs) {
+    thread_pool.resize_for_testing(cfg.threads);
+    storage_pool.set_enabled(cfg.pool);
+    hashes.push_back(run_pipeline_hash());
+  }
+  // Restore the ambient configuration before asserting.
+  thread_pool.resize_for_testing(1);
+  storage_pool.set_enabled(pool_was_enabled);
+
+  for (size_t i = 1; i < hashes.size(); ++i) {
+    EXPECT_EQ(hashes[0], hashes[i])
+        << "pipeline hash diverged between config 0 (threads=1, pool=on) and "
+        << "config " << i << " (threads=" << configs[i].threads
+        << ", pool=" << (configs[i].pool ? "on" : "off") << ")";
+  }
+  EXPECT_EQ(hashes[0], kGoldenHash)
+      << "golden pipeline hash changed. If this is an intentional numeric "
+      << "change, update kGoldenHash in tests/test_golden.cpp to 0x" << std::hex
+      << hashes[0] << "; otherwise bisect the regression.";
+
+  // The run happened with the observability layer live: the pipeline spans
+  // must have been recorded (proof the instrumentation was active while the
+  // numerics stayed bit-identical).
+  if (obs::enabled()) {
+    bool saw_placer = false, saw_router = false, saw_trainer = false;
+    for (const auto& e : obs::trace_snapshot()) {
+      if (std::strcmp(e.name, "placer.iterate") == 0) saw_placer = true;
+      if (std::strcmp(e.name, "router.detailed_route") == 0) saw_router = true;
+      if (std::strcmp(e.name, "trainer.fit") == 0) saw_trainer = true;
+    }
+    EXPECT_TRUE(saw_placer);
+    EXPECT_TRUE(saw_router);
+    EXPECT_TRUE(saw_trainer);
+  }
+}
+
+}  // namespace
+}  // namespace mfa

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 
+#include "models/blocks.h"
 #include "nn/attention.h"
 #include "nn/layers.h"
 #include "nn/optim.h"
@@ -150,6 +151,44 @@ TEST(NnAttention, TransformerGradFlowsToAllParams) {
     // always do via residual path).
     EXPECT_GE(norm, 0.0f);
   }
+}
+
+// Full composite gradcheck through the pre-LN transformer layer: softmax
+// attention, both layer norms, the FFN, and the residual adds in one graph.
+TEST(NnAttention, GradCheckThroughTransformerLayer) {
+  Rng rng(13);
+  TransformerEncoderLayer layer(4, 2, 8, rng);
+  Tensor x = Tensor::randn({1, 3, 4}, rng, 0.5f, /*requires_grad=*/true);
+  auto inputs = layer.parameters();
+  inputs.push_back(x);
+  const auto r = gradcheck(
+      [&] {
+        Tensor y = layer.forward(x);
+        return sum(mul(y, y));
+      },
+      inputs, 1e-2f, 8e-2f);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+// Full gradcheck through the MFA dual-attention block: PAM + CAM branches,
+// the channel reduction/restore convs, and both batch norms (training mode).
+TEST(NnAttention, GradCheckThroughMfaBlock) {
+  Rng rng(14);
+  models::MfaBlock block(4, rng);
+  // The attention gains start at zero (identity attention); push them off
+  // zero so the PAM/CAM softmax paths carry gradient during the check.
+  for (auto& p : block.parameters())
+    if (p.numel() == 1) p.data()[0] = 0.5f;
+  Tensor x = Tensor::randn({1, 4, 3, 3}, rng, 0.5f, /*requires_grad=*/true);
+  auto inputs = block.parameters();
+  inputs.push_back(x);
+  const auto r = gradcheck(
+      [&] {
+        Tensor y = block.forward(x);
+        return sum(mul(y, y));
+      },
+      inputs, 1e-2f, 8e-2f);
+  EXPECT_TRUE(r.ok) << r.detail;
 }
 
 TEST(NnOptim, SgdConvergesOnQuadratic) {
