@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "common/metrics.h"
+#include "common/sanitize.h"
 #include "common/trace.h"
 #include "features/features.h"
 #include "models/blocks.h"
@@ -37,6 +38,11 @@ struct PoolCounterScope {
         static_cast<double>(st.hits) / iters;
     state_.counters["heap_allocs_per_iter"] =
         static_cast<double>(st.misses) / iters;
+    // scripts/bench.sh --check asserts this is 0: the mfa::sanitize storage
+    // checker (redzones, generation stamps, write-set logging) must be fully
+    // compiled out of optimized builds, not merely disabled at runtime.
+    state_.counters["sanitize_compiled_in"] =
+        sanitize::compiled_in() ? 1.0 : 0.0;
   }
   benchmark::State& state_;
 };

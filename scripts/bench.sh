@@ -22,6 +22,14 @@
 # instrumented train step with metric recording on vs off in the same
 # process; --check fails when the enabled run is more than 2% slower.
 #
+# Sanitizer compile-out check: the pool-counter benchmarks export
+# sanitize_compiled_in; --check fails when it is non-zero, i.e. when the
+# mfa::sanitize storage checker (redzones, generation stamps, write-set
+# logging) leaked into an optimized build. (The complementary guarantee —
+# the golden end-to-end hash is bit-identical with the sanitizer armed in
+# Debug — is covered by the MFA_SANITIZE_STORAGE=on ctest pass in
+# scripts/ci.sh.)
+#
 # Usage: scripts/bench.sh [--smoke] [--check] [--filter REGEX]
 #                         [--trace FILE] [build-dir]
 #   --smoke    one repetition with a tiny min-time: proves the binary runs
@@ -31,7 +39,8 @@
 #              BENCH_micro.json is never clobbered by throwaway data.
 #   --check    exit non-zero if any baseline benchmark regressed by more
 #              than 25% (skipped off-host), if the pool allocation
-#              reduction fails, or if the obs overhead exceeds 2%
+#              reduction fails, if the obs overhead exceeds 2%, or if the
+#              storage sanitizer is compiled into this build
 #              (ignored in --smoke mode).
 #   --filter   forwarded to --benchmark_filter (default: run everything).
 #   --trace    run the bench_trace pipeline driver instead of bench_micro:
@@ -216,6 +225,15 @@ for b in raw.get("benchmarks", []):
     if ratio is None or ratio > 0.1:
         alloc_failures.append((b["name"], on, off))
 
+# Sanitizer compile-out: any pool-counter benchmark carries the flag; a
+# non-zero value means the Debug-only checker is present in this build.
+sanitize_failures = []
+for b in raw.get("benchmarks", []):
+    flag = b.get("sanitize_compiled_in")
+    if check and flag:
+        sanitize_failures.append(b["name"])
+        break
+
 # Observability overhead: the ObsOn/ObsOff pair runs in one process on the
 # same data, so the ratio is host-independent (enforced on any host). Min
 # over the interleaved repetitions on each side, per the rationale above.
@@ -291,6 +309,11 @@ if obs_failure is not None:
     print(f"bench.sh: OBS OVERHEAD CHECK FAILED: Conv2dTrainStep is"
           f" {obs_failure * 100.0:.2f}% slower with MFA_OBS on (need <= 2%)",
           file=sys.stderr)
+    failed = True
+if sanitize_failures:
+    print("bench.sh: SANITIZE CHECK FAILED: mfa::sanitize is compiled into"
+          " this build (sanitize_compiled_in != 0); optimized builds must"
+          " compile the storage checker out entirely", file=sys.stderr)
     failed = True
 if failed:
     sys.exit(1)

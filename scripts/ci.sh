@@ -10,9 +10,15 @@
 #                                on, so the crash/rollback recovery paths and
 #                                every fault-gated test actually run
 #
+# The faults tree (Debug) is tested a second time with the storage
+# sanitizer switched on (MFA_SANITIZE_STORAGE=on), which covers the
+# golden-hash-with-sanitizer guarantee without adding a fifth build.
+#
 # Each configuration gets its own build tree under build-ci/ so the matrix
-# never contaminates the developer's ./build. Also runs scripts/check.sh
-# (clang-tidy) against the first configuration when available.
+# never contaminates the developer's ./build. Also runs scripts/lint.sh
+# (clang-tidy gate + header self-containment) against the first
+# configuration; the clang-tidy half skips with a warning when the binary
+# is not installed.
 #
 # Usage: scripts/ci.sh [-jN]
 set -euo pipefail
@@ -78,6 +84,15 @@ run_config tsan    Debug          thread
 # Fault-injection job: plain Debug compiles MFA_FAULT_POINT live, and the
 # finite-grad guard env default exercises the dirty-set NaN scan everywhere.
 MFA_CI_FINITE_GRADS=1 run_config faults Debug ""
+# Second pass on the faults tree with the storage sanitizer armed: every
+# test (including the golden end-to-end hash) must pass with redzones,
+# generation checks, and deterministic race detection live. This is the
+# "clean pipeline reports zero violations" gate.
+echo "=== [faults, MFA_SANITIZE_STORAGE=on] test ==="
+MFA_SANITIZE_STORAGE=on \
+ctest --test-dir build-ci/faults --output-on-failure "${JOBS}" \
+  --output-junit ctest-junit-sanitize.xml
+report_slowest build-ci/faults/ctest-junit-sanitize.xml "faults, sanitize=on"
 
 echo "=== bench smoke ==="
 # One tiny repetition: proves bench_micro runs and the JSON pipeline is
@@ -95,6 +110,6 @@ print(f"bench smoke: {len(doc['benchmarks'])} benchmarks, JSON well-formed")
 PY
 
 echo "=== static analysis ==="
-scripts/check.sh build-ci/release
+scripts/lint.sh build-ci/release
 
 echo "ci.sh: all configurations passed."

@@ -31,6 +31,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/sanitize.h"
 #include "common/thread_pool.h"
 
 namespace mfa {
@@ -46,13 +47,20 @@ void parallel_for(std::int64_t n, Fn&& fn, std::int64_t grain = 1024) {
     return;
   }
   auto& pool = common::ThreadPool::instance();
-  if (pool.size() <= 1) {
+  // When the storage sanitizer's declared-write tracking is on (Debug
+  // diagnostic, see common/sanitize.h), the region always goes through
+  // ThreadPool::run with a FIXED virtual task count: a size-1 pool then
+  // partitions [0, n) into the same chunks a size-16 pool would, so an
+  // overlapping-write bug is reported identically for every MFA_THREADS.
+  const bool sanitized = sanitize::race_check_active();
+  if (!sanitized && pool.size() <= 1) {
     fn(0, n);
     return;
   }
   // Dynamic scheduling claims one chunk per atomic increment; scale the chunk
   // up from `grain` so a huge range still costs only O(8 * pool size) claims.
-  const std::int64_t tasks = static_cast<std::int64_t>(pool.size()) * 8;
+  const std::int64_t tasks =
+      sanitized ? 32 : static_cast<std::int64_t>(pool.size()) * 8;
   const std::int64_t chunk = std::max(grain, (n + tasks - 1) / tasks);
   using Body = std::remove_reference_t<Fn>;
   pool.run(

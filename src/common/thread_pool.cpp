@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/metrics.h"
+#include "common/sanitize.h"
 
 namespace mfa::common {
 
@@ -101,6 +102,9 @@ void ThreadPool::work_on(Job& job) {
     const std::int64_t begin = job.next.fetch_add(job.chunk);
     if (begin >= job.n) break;
     const std::int64_t end = std::min(job.n, begin + job.chunk);
+    // Chunk identity for the storage sanitizer's declared-write tracking:
+    // `begin` is unique per chunk and independent of which thread claims it.
+    const sanitize::ChunkScope chunk_scope(job.sanitize_region, begin);
     try {
       job.kernel(job.ctx, begin, end);
     } catch (...) {
@@ -137,6 +141,12 @@ void ThreadPool::run(std::int64_t n, std::int64_t chunk, Kernel kernel,
   // is busy, and inline execution keeps results identical anyway.
   const std::uint64_t n_chunks =
       static_cast<std::uint64_t>((n + chunk - 1) / chunk);
+  // Declared-write tracking (mfa::sanitize, Debug diagnostic): the whole
+  // region is bracketed so chunk kernels can declare their write ranges; the
+  // overlap sweep runs after the join. An inline region uses the exact same
+  // chunk partition as a dispatched one, so detection does not depend on the
+  // pool size. Token 0 (checker off / Release) makes every call a no-op.
+  const std::uint64_t region = sanitize::begin_region();
   std::unique_lock<std::mutex> submit_lock(submit_mutex_, std::try_to_lock);
   if (!submit_lock.owns_lock() || workers_.empty()) {
     inline_runs_.fetch_add(1, std::memory_order_relaxed);
@@ -144,13 +154,18 @@ void ThreadPool::run(std::int64_t n, std::int64_t chunk, Kernel kernel,
     const RegionGuard guard;
     std::exception_ptr error;
     for (std::int64_t begin = 0; begin < n; begin += chunk) {
+      const sanitize::ChunkScope chunk_scope(region, begin);
       try {
         kernel(ctx, begin, std::min(n, begin + chunk));
       } catch (...) {
         if (!error) error = std::current_exception();
       }
     }
-    if (error) std::rethrow_exception(error);
+    if (error) {
+      sanitize::abandon_region(region);  // the kernel error wins
+      std::rethrow_exception(error);
+    }
+    sanitize::end_region(region);  // may throw the race violation
     return;
   }
 
@@ -159,6 +174,7 @@ void ThreadPool::run(std::int64_t n, std::int64_t chunk, Kernel kernel,
   job.ctx = ctx;
   job.n = n;
   job.chunk = chunk;
+  job.sanitize_region = region;
   jobs_run_.fetch_add(1, std::memory_order_relaxed);
   chunks_run_.fetch_add(n_chunks, std::memory_order_relaxed);
   {
@@ -176,7 +192,11 @@ void ThreadPool::run(std::int64_t n, std::int64_t chunk, Kernel kernel,
     });
     job_ = nullptr;  // no new worker may join once we retire the job
   }
-  if (job.error) std::rethrow_exception(job.error);
+  if (job.error) {
+    sanitize::abandon_region(region);
+    std::rethrow_exception(job.error);
+  }
+  sanitize::end_region(region);
 }
 
 }  // namespace mfa::common

@@ -101,6 +101,9 @@ class ThreadPool {
     void* ctx = nullptr;
     std::int64_t n = 0;
     std::int64_t chunk = 1;
+    // Token of the mfa::sanitize declared-write region this job runs under
+    // (0 when the storage sanitizer is off / compiled out).
+    std::uint64_t sanitize_region = 0;
     std::atomic<std::int64_t> next{0};   // next unclaimed index
     std::atomic<int> in_flight{0};       // threads inside work_on()
     std::exception_ptr error;

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "common/parallel.h"
+#include "common/sanitize.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 
@@ -101,6 +102,7 @@ void col2im(const float* col, const ConvDims& d, float* img) {
 
 Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
               std::int64_t stride, std::int64_t padding) {
+  const sanitize::OpScope op_scope("conv2d");
   const ConvDims d = conv_dims(x, w, stride, padding);
   if (b.defined()) {
     MFA_CHECK_EQ(b.numel(), d.Cout)
@@ -133,6 +135,16 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
         parallel_for(
             slots,
             [&](std::int64_t s0, std::int64_t s1) {
+              // Declared writes: this chunk owns dW slots [s0, s1) and the
+              // dx slices of the samples those slots cover.
+              if (wi->requires_grad)
+                sanitize::note_parallel_write(dw_slots.data(),
+                                              s0 * d.Cout * CKK,
+                                              s1 * d.Cout * CKK);
+              if (xi->requires_grad)
+                sanitize::note_parallel_write(
+                    xi->grad.data(), s0 * per_slot * d.Cin * d.H * d.W,
+                    std::min(d.N, s1 * per_slot) * d.Cin * d.H * d.W);
               // col / dcol panels come from the worker's thread-local arena;
               // steady-state training allocates nothing here.
               float* col = kernels::scratch(0, CKK * HW);
@@ -187,6 +199,8 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
     parallel_for(
         d.N,
         [&](std::int64_t n0, std::int64_t n1) {
+          sanitize::note_parallel_write(ov, n0 * d.Cout * HW,
+                                        n1 * d.Cout * HW);
           float* col = kernels::scratch(0, CKK * HW);
           for (std::int64_t n = n0; n < n1; ++n) {
             im2col(xv + n * d.Cin * d.H * d.W, d, col);
@@ -207,6 +221,7 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
 }
 
 Tensor max_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
+  const sanitize::OpScope op_scope("max_pool2d");
   MFA_CHECK_EQ(x.dim(), 4) << " max_pool2d expects NCHW, got "
                            << shape_str(x.shape());
   const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
@@ -257,6 +272,7 @@ Tensor max_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
 }
 
 Tensor avg_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
+  const sanitize::OpScope op_scope("avg_pool2d");
   MFA_CHECK_EQ(x.dim(), 4) << " avg_pool2d expects NCHW, got "
                            << shape_str(x.shape());
   const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
@@ -306,6 +322,7 @@ Tensor avg_pool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
 }
 
 Tensor upsample_nearest2x(const Tensor& x) {
+  const sanitize::OpScope op_scope("upsample_nearest2x");
   MFA_CHECK_EQ(x.dim(), 4) << " upsample_nearest2x expects NCHW, got "
                            << shape_str(x.shape());
   const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
@@ -346,6 +363,7 @@ Tensor upsample_nearest2x(const Tensor& x) {
 }
 
 Tensor global_avg_pool(const Tensor& x) {
+  const sanitize::OpScope op_scope("global_avg_pool");
   const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
   const float inv = 1.0f / static_cast<float>(H * W);
   Tensor out = Tensor::make_result(

@@ -4,6 +4,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "common/parallel.h"
+#include "common/sanitize.h"
 #include "tensor/ops.h"
 
 namespace mfa::ops {
@@ -84,10 +85,13 @@ void bcast_walk(const Bcast& bc, F&& f) {
 }
 
 /// Generic broadcasting binary op. FwdFn: (a,b)->out. The gradient callbacks
-/// give d(out)/d(a) and d(out)/d(b) as functions of the input values.
+/// give d(out)/d(a) and d(out)/d(b) as functions of the input values. `name`
+/// must have static storage duration (string literal): it is stamped into
+/// the result's tape node for mfa::sanitize violation reports.
 template <typename FwdFn, typename DaFn, typename DbFn>
-Tensor binary_op(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfa,
-                 DbFn dfb) {
+Tensor binary_op(const char* name, const Tensor& a, const Tensor& b, FwdFn fwd,
+                 DaFn dfa, DbFn dfb) {
+  const sanitize::OpScope op_scope(name);
   MFA_CHECK(a.defined() && b.defined())
       << " binary op on an undefined tensor";
   const Bcast bc = make_bcast(a.shape(), b.shape());
@@ -108,6 +112,8 @@ Tensor binary_op(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfa,
           parallel_for(
               bc.numel,
               [&](std::int64_t i0, std::int64_t i1) {
+                if (need_a) sanitize::note_parallel_write(ga, i0, i1);
+                if (need_b) sanitize::note_parallel_write(gb, i0, i1);
                 for (std::int64_t i = i0; i < i1; ++i) {
                   if (need_a) ga[i] += go[i] * dfa(av[i], bv[i]);
                   if (need_b) gb[i] += go[i] * dfb(av[i], bv[i]);
@@ -128,6 +134,7 @@ Tensor binary_op(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfa,
     parallel_for(
         bc.numel,
         [&](std::int64_t i0, std::int64_t i1) {
+          sanitize::note_parallel_write(ov, i0, i1);
           for (std::int64_t i = i0; i < i1; ++i) ov[i] = fwd(av[i], bv[i]);
         },
         kElemwiseGrain);
@@ -141,7 +148,8 @@ Tensor binary_op(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn dfa,
 
 /// Generic unary op. DFn gives d(out)/d(in) as a function of (in, out).
 template <typename FwdFn, typename DFn>
-Tensor unary_op(const Tensor& a, FwdFn fwd, DFn dfn) {
+Tensor unary_op(const char* name, const Tensor& a, FwdFn fwd, DFn dfn) {
+  const sanitize::OpScope op_scope(name);
   MFA_CHECK(a.defined()) << " unary op on an undefined tensor";
   Tensor out = Tensor::make_result(
       a.shape(), {a}, [a, dfn](detail::TensorImpl& o) {
@@ -155,6 +163,7 @@ Tensor unary_op(const Tensor& a, FwdFn fwd, DFn dfn) {
         parallel_for(
             static_cast<std::int64_t>(o.data.size()),
             [&](std::int64_t i0, std::int64_t i1) {
+              sanitize::note_parallel_write(ga, i0, i1);
               for (std::int64_t i = i0; i < i1; ++i)
                 ga[i] += go[i] * dfn(av[i], ov[i]);
             },
@@ -165,6 +174,7 @@ Tensor unary_op(const Tensor& a, FwdFn fwd, DFn dfn) {
   parallel_for(
       a.numel(),
       [&](std::int64_t i0, std::int64_t i1) {
+        sanitize::note_parallel_write(ov, i0, i1);
         for (std::int64_t i = i0; i < i1; ++i) ov[i] = fwd(av[i]);
       },
       kElemwiseGrain);
@@ -177,42 +187,42 @@ constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 
 Tensor add(const Tensor& a, const Tensor& b) {
   return binary_op(
-      a, b, [](float x, float y) { return x + y; },
+      "add", a, b, [](float x, float y) { return x + y; },
       [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   return binary_op(
-      a, b, [](float x, float y) { return x - y; },
+      "sub", a, b, [](float x, float y) { return x - y; },
       [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   return binary_op(
-      a, b, [](float x, float y) { return x * y; },
+      "mul", a, b, [](float x, float y) { return x * y; },
       [](float, float y) { return y; }, [](float x, float) { return x; });
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
   return binary_op(
-      a, b, [](float x, float y) { return x / y; },
+      "div", a, b, [](float x, float y) { return x / y; },
       [](float, float y) { return 1.0f / y; },
       [](float x, float y) { return -x / (y * y); });
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
   return unary_op(
-      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+      "add_scalar", a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
 }
 
 Tensor mul_scalar(const Tensor& a, float s) {
   return unary_op(
-      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+      "mul_scalar", a, [s](float x) { return x * s; }, [s](float, float) { return s; });
 }
 
 Tensor pow_scalar(const Tensor& a, float p) {
   return unary_op(
-      a, [p](float x) { return std::pow(x, p); },
+      "pow_scalar", a, [p](float x) { return std::pow(x, p); },
       [p](float x, float) { return p * std::pow(x, p - 1.0f); });
 }
 
@@ -220,49 +230,49 @@ Tensor neg(const Tensor& a) { return mul_scalar(a, -1.0f); }
 
 Tensor exp(const Tensor& a) {
   return unary_op(
-      a, [](float x) { return std::exp(x); },
+      "exp", a, [](float x) { return std::exp(x); },
       [](float, float y) { return y; });
 }
 
 Tensor log(const Tensor& a) {
   return unary_op(
-      a, [](float x) { return std::log(x); },
+      "log", a, [](float x) { return std::log(x); },
       [](float x, float) { return 1.0f / x; });
 }
 
 Tensor sqrt(const Tensor& a) {
   return unary_op(
-      a, [](float x) { return std::sqrt(x); },
+      "sqrt", a, [](float x) { return std::sqrt(x); },
       [](float, float y) { return 0.5f / y; });
 }
 
 Tensor relu(const Tensor& a) {
   return unary_op(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      "relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor leaky_relu(const Tensor& a, float slope) {
   return unary_op(
-      a, [slope](float x) { return x > 0.0f ? x : slope * x; },
+      "leaky_relu", a, [slope](float x) { return x > 0.0f ? x : slope * x; },
       [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
 }
 
 Tensor sigmoid(const Tensor& a) {
   return unary_op(
-      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      "sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
       [](float, float y) { return y * (1.0f - y); });
 }
 
 Tensor tanh(const Tensor& a) {
   return unary_op(
-      a, [](float x) { return std::tanh(x); },
+      "tanh", a, [](float x) { return std::tanh(x); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor gelu(const Tensor& a) {
   return unary_op(
-      a,
+      "gelu", a,
       [](float x) {
         return 0.5f * x * (1.0f + std::tanh(kGeluC * (x + 0.044715f * x * x * x)));
       },
@@ -276,7 +286,7 @@ Tensor gelu(const Tensor& a) {
 
 Tensor clamp_min(const Tensor& a, float lo) {
   return unary_op(
-      a, [lo](float x) { return x > lo ? x : lo; },
+      "clamp_min", a, [lo](float x) { return x > lo ? x : lo; },
       [lo](float x, float) { return x > lo ? 1.0f : 0.0f; });
 }
 

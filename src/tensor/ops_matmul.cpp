@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/sanitize.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 
@@ -12,6 +13,7 @@ using kernels::gemm_nt;
 using kernels::gemm_tn;
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  const sanitize::OpScope op_scope("matmul");
   const auto ad = a.dim();
   const auto bd = b.dim();
   MFA_CHECK((ad == 2 || ad == 3) && (bd == 2 || bd == 3) && bd <= ad)

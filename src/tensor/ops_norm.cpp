@@ -2,6 +2,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/sanitize.h"
 #include "tensor/ops.h"
 
 namespace mfa::ops {
@@ -9,6 +10,7 @@ namespace mfa::ops {
 Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                     Tensor& running_mean, Tensor& running_var, bool training,
                     float momentum, float eps) {
+  const sanitize::OpScope op_scope("batch_norm2d");
   MFA_CHECK_EQ(x.dim(), 4) << " batch_norm2d expects NCHW, got "
                            << shape_str(x.shape());
   const std::int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
@@ -125,6 +127,7 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
 
 Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                   float eps) {
+  const sanitize::OpScope op_scope("layer_norm");
   const auto nd = x.dim();
   MFA_CHECK_GE(nd, 1) << " layer_norm on " << shape_str(x.shape());
   const std::int64_t D = x.size(nd - 1);

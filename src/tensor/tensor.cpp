@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/log.h"
+#include "common/sanitize.h"
 
 namespace mfa {
 
@@ -232,7 +233,13 @@ void Tensor::backward() {
       }
     }
     if (!node->backward_fn) continue;
-    node->backward_fn();
+    {
+      // Backtrace-lite for mfa::sanitize: violations raised inside this
+      // closure report the op that recorded it plus its tape position.
+      const sanitize::OpScope op_scope(
+          node->op_name ? node->op_name : "backward", tape_pos);
+      node->backward_fn();
+    }
     if (MFA_FAULT_POINT("tensor.nan_grad") && !node->parents.empty()) {
       auto& pg = node->parents.front()->grad;
       if (!pg.empty()) pg[0] = std::numeric_limits<float>::quiet_NaN();
@@ -290,6 +297,7 @@ Tensor Tensor::make_result(Shape shape, std::vector<Tensor> inputs,
   for (const auto& in : inputs) needs = needs || in.requires_grad();
   if (!needs) return out;
   out.impl_->requires_grad = true;
+  out.impl_->op_name = sanitize::current_op();
   out.impl_->parents.reserve(inputs.size());
   for (const auto& in : inputs)
     if (in.defined()) out.impl_->parents.push_back(in.impl());

@@ -44,6 +44,11 @@ struct TensorImpl {
   tensor::Storage data;
   tensor::Storage grad;  // lazily acquired from the pool, same length as data
   bool requires_grad = false;
+  // Name of the op that produced this node (static-storage string stamped by
+  // make_result from sanitize::current_op()); backtrace-lite context for
+  // mfa::sanitize violation reports. Null for leaves / when the checker is
+  // off.
+  const char* op_name = nullptr;
   std::function<void()> backward_fn;                 // null for leaves
   std::vector<std::shared_ptr<TensorImpl>> parents;  // autograd edges
   void ensure_grad() {
