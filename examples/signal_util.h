@@ -1,0 +1,41 @@
+// Two-stage SIGINT/SIGTERM handling shared by the long-running example
+// drivers: the first signal requests a graceful drain (pollable flag, the
+// driver finishes in-flight work and exits cleanly), the second forces an
+// immediate exit with the conventional 128+SIGINT status. Everything the
+// handler itself does is async-signal-safe.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+
+namespace mfa::examples {
+
+inline std::atomic<int> g_signals_seen{0};
+
+inline void drain_signal_handler(int /*sig*/) {
+  const int n = g_signals_seen.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n == 1) {
+    static const char msg[] =
+        "\n[signal] draining; press Ctrl-C again to force exit\n";
+    (void)!::write(2, msg, sizeof(msg) - 1);
+    return;
+  }
+  static const char msg[] = "\n[signal] forced exit\n";
+  (void)!::write(2, msg, sizeof(msg) - 1);
+  ::_exit(130);
+}
+
+/// Routes SIGINT and SIGTERM through the two-stage handler.
+inline void install_drain_handlers() {
+  std::signal(SIGINT, drain_signal_handler);
+  std::signal(SIGTERM, drain_signal_handler);
+}
+
+/// True once the first signal has arrived: finish up and exit.
+inline bool drain_requested() {
+  return g_signals_seen.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace mfa::examples

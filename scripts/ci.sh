@@ -12,7 +12,10 @@
 #
 # The faults tree (Debug) is tested a second time with the storage
 # sanitizer switched on (MFA_SANITIZE_STORAGE=on), which covers the
-# golden-hash-with-sanitizer guarantee without adding a fifth build.
+# golden-hash-with-sanitizer guarantee without adding a fifth build. The
+# TSan tree similarly gets a second pass over the `soak` label with the
+# storage sanitizer armed — the serving concurrency suite under both
+# checkers at once.
 #
 # Each configuration gets its own build tree under build-ci/ so the matrix
 # never contaminates the developer's ./build. Also runs scripts/lint.sh
@@ -81,6 +84,17 @@ ctest --test-dir build-ci/asan --output-on-failure "${JOBS}" \
   --output-junit ctest-junit-pool-off.xml
 report_slowest build-ci/asan/ctest-junit-pool-off.xml "asan, MFA_POOL=off"
 run_config tsan    Debug          thread
+# Serving soak slice under TSan with the storage sanitizer armed: the
+# multi-client serve tests (label `soak`) re-run with redzones/generation
+# checks live while TSan watches the queue/batch/swap handoffs. Thread
+# widths {1,4} are covered in-process by the ServeSoak parameterisation
+# (ThreadPool::resize_for_testing), so one ctest pass sees both.
+echo "=== [tsan, soak, MFA_SANITIZE_STORAGE=on] test ==="
+TSAN_OPTIONS="halt_on_error=1" \
+MFA_SANITIZE_STORAGE=on \
+ctest --test-dir build-ci/tsan --output-on-failure "${JOBS}" -L soak \
+  --output-junit ctest-junit-soak.xml
+report_slowest build-ci/tsan/ctest-junit-soak.xml "tsan, soak, sanitize=on"
 # Fault-injection job: plain Debug compiles MFA_FAULT_POINT live, and the
 # finite-grad guard env default exercises the dirty-set NaN scan everywhere.
 MFA_CI_FINITE_GRADS=1 run_config faults Debug ""
@@ -107,6 +121,23 @@ assert doc["smoke"] is True
 assert doc["benchmarks"], "bench smoke produced no benchmark entries"
 assert all("real_time" in b for b in doc["benchmarks"])
 print(f"bench smoke: {len(doc['benchmarks'])} benchmarks, JSON well-formed")
+PY
+
+echo "=== bench smoke (serve) ==="
+# Same idea for the serving benchmark: one tiny repetition proves the
+# closed-loop scenarios and the JSON pipeline work; the committed
+# BENCH_serve.json numbers come from `scripts/bench.sh --serve` on a quiet
+# box, gated by `--check` against bench/baseline_serve.json.
+scripts/bench.sh --serve --smoke build-ci/release
+python3 - <<'PY'
+import json
+doc = json.load(open("build-ci/release/BENCH_serve.smoke.json"))
+assert doc["smoke"] is True
+run = doc["run"]
+for scenario in ("baseline", "batched", "overload"):
+    assert run[scenario]["throughput_rps"] > 0, scenario
+assert run["batched"]["mean_batch"] > 1, "batch former never coalesced"
+print("serve bench smoke: three scenarios ran, JSON well-formed")
 PY
 
 echo "=== static analysis ==="

@@ -1,0 +1,40 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mfa::common {
+
+Backoff::Backoff(const BackoffOptions& options, std::uint64_t seed)
+    : options_(options), seed_(seed), rng_(seed) {
+  MFA_CHECK(options_.base_seconds > 0.0)
+      << " Backoff: base_seconds must be positive";
+  MFA_CHECK(options_.max_seconds >= options_.base_seconds)
+      << " Backoff: max_seconds must be >= base_seconds";
+  MFA_CHECK(options_.multiplier >= 1.0)
+      << " Backoff: multiplier must be >= 1";
+  MFA_CHECK(options_.max_retries >= 0)
+      << " Backoff: max_retries must be non-negative";
+  prev_ = options_.base_seconds;
+}
+
+std::optional<double> Backoff::next_delay_seconds() {
+  if (retries_ >= options_.max_retries) return std::nullopt;
+  ++retries_;
+  // Decorrelated jitter: uniform over [base, prev * multiplier], capped.
+  const double hi =
+      std::min(options_.max_seconds, prev_ * options_.multiplier);
+  const double delay = rng_.uniform(options_.base_seconds,
+                                    std::max(options_.base_seconds, hi));
+  prev_ = delay;
+  return delay;
+}
+
+void Backoff::reset() {
+  rng_.reseed(seed_);
+  prev_ = options_.base_seconds;
+  retries_ = 0;
+}
+
+}  // namespace mfa::common

@@ -1,0 +1,67 @@
+// Deterministic exponential backoff with decorrelated jitter and a bounded
+// retry budget, for the transient-failure retry loops in the library (serve
+// admission rejections, checkpoint I/O).
+//
+// The schedule is the AWS "decorrelated jitter" variant: each delay is drawn
+// uniformly from [base, prev * multiplier] and capped at max, so consecutive
+// retries spread out exponentially while two callers armed with different
+// seeds never fall into lockstep. All randomness comes from a seeded
+// mfa::Rng, so a fixed (options, seed) pair reproduces the exact delay
+// sequence on any platform — retry behaviour is testable to the microsecond
+// without sleeping.
+//
+// Usage:
+//     common::Backoff backoff({.base_seconds = 1e-3}, /*seed=*/42);
+//     while (auto delay = backoff.next_delay_seconds()) {
+//       if (try_once()) return;
+//       std::this_thread::sleep_for(std::chrono::duration<double>(*delay));
+//     }
+//     throw ...;  // retry budget exhausted
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+
+namespace mfa::common {
+
+struct BackoffOptions {
+  /// Lower bound of every delay and the upper bound of the first one.
+  double base_seconds = 1e-3;
+  /// Hard cap applied to every delay.
+  double max_seconds = 0.25;
+  /// Upper-bound growth factor: delay_n is drawn from
+  /// [base, min(max, delay_{n-1} * multiplier)].
+  double multiplier = 3.0;
+  /// Retry budget: next_delay_seconds() yields this many delays, then
+  /// std::nullopt forever (until reset()).
+  std::int64_t max_retries = 5;
+};
+
+class Backoff {
+ public:
+  Backoff(const BackoffOptions& options, std::uint64_t seed);
+
+  /// The delay to sleep before the next retry, or std::nullopt when the
+  /// retry budget is exhausted. Deterministic for a fixed (options, seed).
+  std::optional<double> next_delay_seconds();
+
+  /// Restores the schedule to its post-construction state (same seed, so the
+  /// exact same delay sequence replays).
+  void reset();
+
+  /// Delays handed out since construction / the last reset().
+  std::int64_t retries() const { return retries_; }
+
+  const BackoffOptions& options() const { return options_; }
+
+ private:
+  BackoffOptions options_;
+  std::uint64_t seed_;
+  Rng rng_;
+  double prev_ = 0.0;
+  std::int64_t retries_ = 0;
+};
+
+}  // namespace mfa::common

@@ -31,8 +31,9 @@ RoutabilityDrivenPlacer::RoutabilityDrivenPlacer(const netlist::Design& design,
 
 FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
                                         models::CongestionModel* model) {
-  if (strategy == Strategy::Ours && model == nullptr)
-    throw std::invalid_argument("flow: Strategy::Ours needs a trained model");
+  if (strategy == Strategy::Ours && model == nullptr && !options_.predictor)
+    throw std::invalid_argument(
+        "flow: Strategy::Ours needs a trained model or a predictor hook");
   const auto t_start = Clock::now();
   MFA_TRACE_SCOPE("flow.run");
   static obs::Counter obs_rounds = obs::counter("flow.rounds");
@@ -98,10 +99,21 @@ FlowResult RoutabilityDrivenPlacer::run(Strategy strategy,
         // Model input uses the normalised feature stack it was trained on.
         Tensor feats = features::extract_features(*design_, *device_, cell_x,
                                                   cell_y, fopt);
-        Tensor batched = mfa::ops::reshape(
-            feats, {1, feats.size(0), feats.size(1), feats.size(2)});
-        Tensor pred = model->predict_levels(batched);
-        levels.assign(pred.data(), pred.data() + pred.numel());
+        if (options_.predictor) {
+          levels = options_.predictor(feats);
+          const auto want =
+              static_cast<size_t>(feats.size(1) * feats.size(2));
+          if (levels.size() != want)
+            throw check::CheckError(log::format(
+                "predictor hook returned %zu levels for a %lld x %lld grid",
+                levels.size(), static_cast<long long>(feats.size(1)),
+                static_cast<long long>(feats.size(2))));
+        } else {
+          Tensor batched = mfa::ops::reshape(
+              feats, {1, feats.size(0), feats.size(1), feats.size(2)});
+          Tensor pred = model->predict_levels(batched);
+          levels.assign(pred.data(), pred.data() + pred.numel());
+        }
         if (MFA_FAULT_POINT("flow.predictor_nan") && !levels.empty())
           levels[0] = std::numeric_limits<float>::quiet_NaN();
         if (!std::all_of(levels.begin(), levels.end(),

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -49,6 +50,14 @@ struct FlowOptions {
   /// and router budgets — and the cut is surfaced as a FlowIncident plus
   /// FlowResult::budget_exhausted.
   double predictor_time_budget_seconds = 0.0;
+  /// Dependency-injection hook for the Strategy::Ours predictor: when set,
+  /// run() hands the normalised [6, H, W] feature stack to this callable
+  /// instead of the in-process model — e.g. to route the prediction through
+  /// a shared serve::Server. Must return H*W congestion levels; throwing
+  /// check::CheckError degrades that round to the analytic fallback exactly
+  /// like an in-process predictor failure. With the hook set the `model`
+  /// argument of run() may be null.
+  std::function<std::vector<float>(const Tensor& features)> predictor;
 };
 
 /// One recovery action taken during run(): the flow kept going, but a stage

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -11,10 +12,13 @@
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
+#include "common/backoff.h"
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/log.h"
+#include "nn/snapshot.h"
 
 namespace mfa::nn {
 namespace {
@@ -61,7 +65,7 @@ std::string serialize(const Module& module, const CheckpointMeta* meta) {
 /// Writes `image` to `path` via temp file + fsync + rename, so the
 /// destination is either the old file or the complete new one at every
 /// instant. The fault point simulates a crash in the vulnerable window.
-void write_atomic(const std::string& image, const std::string& path) {
+void write_atomic_once(const std::string& image, const std::string& path) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0)
@@ -87,9 +91,51 @@ void write_atomic(const std::string& image, const std::string& path) {
     throw std::runtime_error(
         "checkpoint: fault-injected crash before rename (temp file left at " +
         tmp + ")");
+  // Transient-I/O simulation: a failure in the fsync/rename window that a
+  // retry of the whole temp-write sequence would clear (NFS hiccup, EINTR
+  // storm). Thrown as CheckError so write_atomic can tell it apart from the
+  // crash simulation above, which must NOT be retried (a "crash" retrying
+  // itself back to health would hide the recovery path under test).
+  if (MFA_FAULT_POINT("checkpoint.transient_io")) {
+    ::unlink(tmp.c_str());
+    throw check::CheckError(
+        "checkpoint: fault-injected transient I/O failure for " + tmp);
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     ::unlink(tmp.c_str());
     throw std::runtime_error("checkpoint: rename to '" + path + "' failed");
+  }
+}
+
+/// write_atomic_once plus a deterministic backoff-retry loop around
+/// transient failures (the checkpoint.transient_io fault point; real-world
+/// analogue: a flaky network filesystem). Crash-simulation and permanent
+/// errors (std::runtime_error) propagate immediately — only the transient
+/// class (CheckError) is retried, up to the budget below.
+void write_atomic(const std::string& image, const std::string& path) {
+  common::BackoffOptions bopt;
+  bopt.base_seconds = 1e-4;  // local-fs retries are cheap; keep tests fast
+  bopt.max_seconds = 5e-3;
+  bopt.max_retries = 3;
+  // Seeded from the path so the delay schedule is reproducible per file but
+  // two writers racing on different files never sync up.
+  common::Backoff backoff(bopt, Rng::hash(path));
+  for (;;) {
+    try {
+      write_atomic_once(image, path);
+      return;
+    } catch (const check::CheckError& transient) {
+      const auto delay = backoff.next_delay_seconds();
+      if (!delay)
+        throw std::runtime_error(
+            std::string("checkpoint: transient I/O failure persisted past ") +
+            std::to_string(bopt.max_retries) +
+            " retries: " + transient.what());
+      log::warn("checkpoint: transient I/O failure (%s); retry %lld in %g s",
+                transient.what(), static_cast<long long>(backoff.retries()),
+                *delay);
+      std::this_thread::sleep_for(std::chrono::duration<double>(*delay));
+    }
   }
 }
 
@@ -230,6 +276,7 @@ void load_checkpoint(Module& module, const std::string& path,
   auto params = module.parameters();
   const auto names = module.parameter_names();
   std::map<std::string, Tensor*> by_name;
+  std::map<std::string, bool> loaded;  // duplicate-entry guard, see below
   for (size_t i = 0; i < params.size(); ++i) by_name[names[i]] = &params[i];
 
   const auto count = r.pod<std::uint64_t>();
@@ -262,6 +309,14 @@ void load_checkpoint(Module& module, const std::string& path,
     const auto it = by_name.find(name);
     if (it == by_name.end())
       throw std::runtime_error("checkpoint: unknown parameter '" + name + "'");
+    // Duplicate guard: a file carrying the same name twice passes the count
+    // check while leaving some other parameter silently at its initial
+    // values — a wrong-but-shape-compatible checkpoint must never load.
+    if (loaded[name])
+      throw SnapshotError(
+          SnapshotError::Kind::kDuplicateName,
+          "checkpoint: duplicate parameter entry '" + name + "' in " + path);
+    loaded[name] = true;
     Tensor& target = *it->second;
     if (target.shape() != shape)
       throw std::runtime_error(
@@ -282,6 +337,75 @@ void load_checkpoint(Module& module, const std::string& path,
     throw std::runtime_error(
         "checkpoint: trailing garbage after last tensor in " + path);
   if (meta) *meta = parsed;
+}
+
+// Defined here (declared in nn/snapshot.h) to reuse the verified-image
+// reader: the snapshot path must enforce exactly the same magic / CRC /
+// bounds / sanity-cap discipline as load_checkpoint, just without needing a
+// module of the right architecture to parse into.
+WeightSnapshot load_snapshot(const std::string& path) {
+  const std::string image = read_verified_image(path);
+  Reader r(image.data() + sizeof(kMagic), image.size() - sizeof(kMagic) - 4);
+  const auto has_meta = r.pod<std::uint32_t>();
+  if (has_meta > 1)
+    throw std::runtime_error(
+        log::format("checkpoint: bad metadata flag %u", has_meta));
+  WeightSnapshot snap;
+  if (has_meta == 1) {
+    snap.meta.epoch = r.pod<std::int64_t>();
+    snap.meta.learning_rate = r.pod<float>();
+  }
+  const auto count = r.pod<std::uint64_t>();
+  constexpr std::uint64_t kMaxParams = 1u << 20;
+  constexpr std::uint32_t kMaxNameLen = 4096;
+  constexpr std::uint32_t kMaxRank = 16;
+  if (count > kMaxParams)
+    throw std::runtime_error(log::format(
+        "checkpoint: implausible parameter count %llu",
+        static_cast<unsigned long long>(count)));
+  std::map<std::string, bool> seen;
+  snap.entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SnapshotEntry e;
+    const auto name_len = r.pod<std::uint32_t>();
+    if (name_len == 0 || name_len > kMaxNameLen)
+      throw std::runtime_error(
+          log::format("checkpoint: implausible name length %u", name_len));
+    e.name.assign(r.bytes(name_len, "parameter name"), name_len);
+    if (seen[e.name])
+      throw SnapshotError(
+          SnapshotError::Kind::kDuplicateName,
+          "checkpoint: duplicate parameter entry '" + e.name + "' in " + path);
+    seen[e.name] = true;
+    const auto rank = r.pod<std::uint32_t>();
+    if (rank > kMaxRank)
+      throw std::runtime_error(log::format(
+          "checkpoint: implausible rank %u for '%s'", rank, e.name.c_str()));
+    e.shape.resize(rank);
+    std::int64_t numel = 1;
+    // The CRC-verified image bounds every plausible element count; checking
+    // against it per-dim keeps the product from ever overflowing.
+    const auto max_numel =
+        static_cast<std::int64_t>(r.remaining() / sizeof(float));
+    for (auto& d : e.shape) {
+      d = r.pod<std::int64_t>();
+      if (d < 0 || (d > 0 && numel > max_numel / d))
+        throw std::runtime_error(
+            log::format("checkpoint: implausible dim %lld for '%s'",
+                        static_cast<long long>(d), e.name.c_str()));
+      numel *= d;
+    }
+    // The remaining-byte bound in Reader::bytes caps the allocation: a
+    // corrupt dim cannot drive it past the (CRC-verified) image size.
+    const auto* raw = reinterpret_cast<const float*>(
+        r.bytes(static_cast<size_t>(numel) * sizeof(float), "tensor data"));
+    e.data.copy_from(raw, numel);
+    snap.entries.push_back(std::move(e));
+  }
+  if (r.remaining() != 0)
+    throw std::runtime_error(
+        "checkpoint: trailing garbage after last tensor in " + path);
+  return snap;
 }
 
 }  // namespace mfa::nn

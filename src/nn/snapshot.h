@@ -1,0 +1,100 @@
+// Immutable weight snapshots for serving: a named set of parameter buffers
+// that can be validated against a live model's shape manifest and then
+// published atomically without copying any floats per request.
+//
+// A WeightSnapshot owns one refcounted tensor::Storage handle per parameter.
+// Publishing a snapshot into a module (install_snapshot) shares those
+// handles into the module's parameter tensors — a refcount bump per
+// parameter, no data copy — so every in-flight forward pass that started
+// before the swap keeps reading the blocks it captured while new passes read
+// the new ones; the old blocks return to the pool when the last reader
+// drops. The convention that makes this safe: a snapshot's storages are
+// immutable once built, and a module serving from a snapshot is
+// inference-only (optimizers would write through the shared blocks).
+//
+// Validation is strict and typed: swap-time and checkpoint-load-time
+// mismatches (wrong architecture, renamed layer, reshaped tensor, duplicate
+// entries) throw SnapshotError carrying a machine-checkable Kind, so a
+// serving loop can distinguish "reject this snapshot, keep serving the old
+// one" from an I/O failure worth retrying.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "nn/checkpoint.h"
+#include "nn/module.h"
+#include "tensor/storage.h"
+#include "tensor/tensor.h"
+
+namespace mfa::nn {
+
+/// Typed rejection of a weight snapshot. Derives from CheckError (a rejected
+/// snapshot is a broken contract between trainer and server, not an
+/// environmental condition), with a Kind for dispatch in recovery code.
+class SnapshotError : public check::CheckError {
+ public:
+  enum class Kind {
+    kCountMismatch,    // entry count != module parameter count
+    kDuplicateName,    // the same parameter name appears twice
+    kUnknownParameter, // an entry names no parameter of the module
+    kRankMismatch,     // entry and parameter disagree on rank
+    kShapeMismatch,    // same rank, different dims
+    kSizeMismatch,     // storage length disagrees with the entry's shape
+  };
+
+  SnapshotError(Kind kind, const std::string& what)
+      : check::CheckError(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+const char* to_string(SnapshotError::Kind kind);
+
+/// One immutable parameter buffer plus the manifest entry describing it.
+struct SnapshotEntry {
+  std::string name;
+  Shape shape;
+  tensor::Storage data;  // treat as read-only once the snapshot is built
+};
+
+struct WeightSnapshot {
+  std::vector<SnapshotEntry> entries;
+  /// Training metadata carried over when the snapshot came from a
+  /// checkpoint (defaults when built directly from a module).
+  CheckpointMeta meta;
+
+  std::int64_t total_floats() const;
+};
+
+/// Deep-copies every parameter of `module` into fresh pooled storages.
+/// O(parameter bytes) — done once per publication, never per request.
+WeightSnapshot snapshot_parameters(const Module& module);
+
+/// Verifies that `snapshot` is exactly publishable into `module`: same
+/// parameter count, every entry naming a distinct existing parameter with an
+/// identical shape, every storage sized to its shape. Throws SnapshotError
+/// on the first violation; returns normally otherwise. Read-only on both
+/// sides, so it is safe to run against a model that is concurrently serving.
+void validate_snapshot(const WeightSnapshot& snapshot, const Module& module);
+
+/// Shares the snapshot's storages into the module's parameters (refcount
+/// bump per parameter, no float copy). Callers must validate_snapshot()
+/// first; this function re-checks cheaply via MFA_CHECK and must only be
+/// called on a module that no other thread is reading mid-forward.
+void install_snapshot(const WeightSnapshot& snapshot, Module& module);
+
+/// Parses a checkpoint file (same "MFACKPT2" format as load_checkpoint,
+/// magic + CRC32 verified) into a standalone snapshot, without needing a
+/// module of the right architecture up front. Validation against the serving
+/// model is the caller's job (validate_snapshot) — the whole point is to
+/// reject a wrong-architecture file *before* anything touches live weights.
+/// Throws std::runtime_error on I/O or corruption, SnapshotError
+/// (kDuplicateName) on files with duplicate parameter entries.
+WeightSnapshot load_snapshot(const std::string& path);
+
+}  // namespace mfa::nn

@@ -1,0 +1,479 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault.h"
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "tensor/ops.h"
+
+namespace mfa::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::int64_t ns_since(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge g = obs::gauge("serve.queue_depth");
+  return g;
+}
+
+}  // namespace
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kFallback: return "fallback";
+    case Status::kShed: return "shed";
+    case Status::kShuttingDown: return "shutting_down";
+  }
+  return "?";
+}
+
+struct Server::Pending {
+  Request request;
+  std::promise<Response> promise;
+  Clock::time_point submitted_at;
+  double deadline_seconds = 0.0;  // effective (server default applied); 0=none
+  double queue_seconds = 0.0;     // stamped when the worker picks it up
+  bool resolved = false;
+};
+
+struct Server::AtomicStats {
+  std::atomic<std::int64_t> submitted{0};
+  std::atomic<std::int64_t> ok{0};
+  std::atomic<std::int64_t> fallbacks{0};
+  std::atomic<std::int64_t> shed{0};
+  std::atomic<std::int64_t> shutdown_rejected{0};
+  std::atomic<std::int64_t> batches{0};
+  std::atomic<std::int64_t> swaps{0};
+  std::atomic<std::int64_t> swap_rejects{0};
+  std::atomic<std::int64_t> worker_restarts{0};
+};
+
+Server::Server(std::unique_ptr<models::CongestionModel> model,
+               const ServerOptions& options)
+    : options_(options),
+      model_(std::move(model)),
+      stats_(std::make_unique<AtomicStats>()) {
+  MFA_CHECK(model_ != nullptr) << " serve: null model";
+  MFA_CHECK_GE(options_.max_queue_depth, 0) << " serve: max_queue_depth";
+  MFA_CHECK_GE(options_.max_batch, 1) << " serve: max_batch";
+  MFA_CHECK_GE(options_.max_batch_wait_seconds, 0.0)
+      << " serve: max_batch_wait_seconds";
+  MFA_CHECK_GE(options_.default_deadline_seconds, 0.0)
+      << " serve: default_deadline_seconds";
+  MFA_CHECK(options_.fallback_strategy != flow::Strategy::Ours)
+      << " serve: fallback_strategy must be an analytic estimator";
+  // The model's current parameters are generation 1; keep a snapshot so a
+  // contained crash can restore known-good weights.
+  current_snapshot_ = std::make_shared<const nn::WeightSnapshot>(
+      nn::snapshot_parameters(model_->network()));
+  staged_version_ = 1;
+  worker_ = std::thread([this] { worker_thread_main(); });
+}
+
+Server::~Server() { shutdown(); }
+
+std::future<Response> Server::submit(Request request) {
+  MFA_CHECK(request.features.defined()) << " serve: undefined feature tensor";
+  MFA_CHECK_EQ(request.features.dim(), 3)
+      << " serve: features must be [6, H, W], got "
+      << shape_str(request.features.shape());
+  MFA_CHECK_EQ(request.features.size(0), 6)
+      << " serve: features must carry the 6-channel stack, got "
+      << shape_str(request.features.shape());
+
+  auto p = std::make_unique<Pending>();
+  p->request = std::move(request);
+  p->submitted_at = Clock::now();
+  p->deadline_seconds = p->request.deadline_seconds < 0.0
+                            ? options_.default_deadline_seconds
+                            : p->request.deadline_seconds;
+  std::future<Response> future = p->promise.get_future();
+  stats_->submitted.fetch_add(1, std::memory_order_relaxed);
+  {
+    static obs::Counter requests = obs::counter("serve.requests");
+    requests.add(1);
+  }
+
+  bool reject_shutdown = false;
+  bool reject_shed = false;
+  std::int64_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    depth = static_cast<std::int64_t>(queue_.size());
+    if (stopping_) {
+      reject_shutdown = true;
+    } else if (depth >= options_.max_queue_depth ||
+               MFA_FAULT_POINT("serve.queue_full")) {
+      reject_shed = true;
+    } else {
+      queue_.push_back(std::move(p));
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
+      work_cv_.notify_one();
+    }
+  }
+  if (reject_shutdown) {
+    stats_->shutdown_rejected.fetch_add(1, std::memory_order_relaxed);
+    resolve_terminal(*p, Status::kShuttingDown, /*retryable=*/false,
+                     "serve: server is shutting down");
+  } else if (reject_shed) {
+    stats_->shed.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter sheds = obs::counter("serve.sheds");
+    sheds.add(1);
+    resolve_terminal(*p, Status::kShed, /*retryable=*/true,
+                     log::format("serve: admission queue full (%lld/%lld)",
+                                 static_cast<long long>(depth),
+                                 static_cast<long long>(
+                                     options_.max_queue_depth)));
+  }
+  return future;
+}
+
+Response Server::predict(Request request) {
+  return submit(std::move(request)).get();
+}
+
+Response Server::predict_with_retry(
+    Request request, const common::BackoffOptions& backoff_options,
+    std::uint64_t seed) {
+  common::Backoff backoff(backoff_options, seed);
+  while (true) {
+    Response r = predict(request);  // Tensor copies share storage: cheap
+    if (r.status != Status::kShed || !r.retryable) return r;
+    const auto delay = backoff.next_delay_seconds();
+    if (!delay.has_value()) return r;  // retry budget exhausted: last shed
+    std::this_thread::sleep_for(std::chrono::duration<double>(*delay));
+  }
+}
+
+std::uint64_t Server::swap_weights(nn::WeightSnapshot snapshot) {
+  if (MFA_FAULT_POINT("serve.swap_corrupt")) {
+    // A corrupted manifest must be caught by validation below, never
+    // published: flip one entry's identity (or invent one for an empty
+    // snapshot, which count-mismatches instead).
+    if (!snapshot.entries.empty()) snapshot.entries.front().name += ".corrupt";
+    else snapshot.entries.emplace_back();
+  }
+  try {
+    nn::validate_snapshot(snapshot, model_->network());
+  } catch (const nn::SnapshotError&) {
+    stats_->swap_rejects.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter rejects = obs::counter("serve.swap_rejects");
+    rejects.add(1);
+    throw;
+  }
+  std::uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MFA_CHECK(!stopping_) << " serve: swap_weights on a shut-down server";
+    version = ++staged_version_;
+    staged_snapshot_ =
+        std::make_shared<const nn::WeightSnapshot>(std::move(snapshot));
+    work_cv_.notify_one();
+  }
+  stats_->swaps.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter swaps = obs::counter("serve.swaps");
+  swaps.add(1);
+  return version;
+}
+
+std::uint64_t Server::weights_version() const {
+  return serving_version_.load(std::memory_order_acquire);
+}
+
+bool Server::accepting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !stopping_;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.submitted = stats_->submitted.load(std::memory_order_relaxed);
+  s.ok = stats_->ok.load(std::memory_order_relaxed);
+  s.fallbacks = stats_->fallbacks.load(std::memory_order_relaxed);
+  s.shed = stats_->shed.load(std::memory_order_relaxed);
+  s.shutdown_rejected =
+      stats_->shutdown_rejected.load(std::memory_order_relaxed);
+  s.batches = stats_->batches.load(std::memory_order_relaxed);
+  s.swaps = stats_->swaps.load(std::memory_order_relaxed);
+  s.swap_rejects = stats_->swap_rejects.load(std::memory_order_relaxed);
+  s.worker_restarts = stats_->worker_restarts.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::pause_worker_for_testing(bool paused) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = paused;
+  work_cv_.notify_all();
+}
+
+void Server::shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    work_cv_.notify_all();
+  }
+  if (!joined_ && worker_.joinable()) worker_.join();
+  joined_ = true;
+  // The worker is gone; whatever is still queued can only be flushed.
+  std::deque<PendingPtr> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftover.swap(queue_);
+    queue_depth_gauge().set(0.0);
+  }
+  for (auto& p : leftover) {
+    stats_->shutdown_rejected.fetch_add(1, std::memory_order_relaxed);
+    resolve_terminal(*p, Status::kShuttingDown, /*retryable=*/false,
+                     "serve: server shut down before this request was served");
+  }
+}
+
+// ---- worker side ----
+
+void Server::worker_thread_main() {
+  while (true) {
+    try {
+      worker_loop();
+      return;  // clean drain
+    } catch (const std::exception& e) {
+      handle_worker_crash(e.what());
+    } catch (...) {
+      handle_worker_crash("unknown exception");
+    }
+  }
+}
+
+void Server::worker_loop() {
+  while (true) {
+    current_batch_ = collect_batch();
+    if (current_batch_.empty()) return;  // stopping
+    execute_batch(current_batch_);
+    current_batch_.clear();
+  }
+}
+
+std::vector<Server::PendingPtr> Server::collect_batch() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stopping_ || staged_snapshot_ != nullptr ||
+             (!paused_ && !queue_.empty());
+    });
+    adopt_snapshot_locked(lock);
+    if (stopping_) return {};
+    // Woken only for a snapshot adoption, or paused: nothing runnable yet.
+    if (paused_ || queue_.empty()) continue;
+    break;
+  }
+
+  std::vector<PendingPtr> batch;
+  const auto take_available = [&] {
+    while (!queue_.empty() &&
+           static_cast<std::int64_t>(batch.size()) < options_.max_batch) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  };
+  take_available();
+  if (static_cast<std::int64_t>(batch.size()) < options_.max_batch &&
+      options_.max_batch_wait_seconds > 0.0) {
+    const auto fill_deadline =
+        Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(options_.max_batch_wait_seconds));
+    while (static_cast<std::int64_t>(batch.size()) < options_.max_batch &&
+           !stopping_) {
+      if (!work_cv_.wait_until(lock, fill_deadline, [&] {
+            return stopping_ || !queue_.empty();
+          }))
+        break;  // patience expired: run the batch short
+      take_available();
+    }
+  }
+  queue_depth_gauge().set(static_cast<double>(queue_.size()));
+  return batch;
+}
+
+void Server::adopt_snapshot_locked(std::unique_lock<std::mutex>& lock) {
+  if (!staged_snapshot_) return;
+  std::shared_ptr<const nn::WeightSnapshot> snap = std::move(staged_snapshot_);
+  staged_snapshot_ = nullptr;
+  const std::uint64_t version = staged_version_;
+  lock.unlock();
+  // Install outside the lock: submitters must not block on a weight copy.
+  // Safe because only this thread ever touches the model.
+  nn::install_snapshot(*snap, model_->network());
+  serving_version_.store(version, std::memory_order_release);
+  lock.lock();
+  current_snapshot_ = std::move(snap);
+}
+
+void Server::execute_batch(std::vector<PendingPtr>& batch) {
+  MFA_TRACE_SCOPE("serve.batch");
+  const auto pickup = Clock::now();
+  for (auto& p : batch) {
+    p->queue_seconds = seconds_since(p->submitted_at, pickup);
+    static obs::Histogram queue_ns = obs::histogram("serve.queue_ns");
+    queue_ns.record(ns_since(p->submitted_at, pickup));
+  }
+
+  if (MFA_FAULT_POINT("serve.slow_worker"))
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Deadline check happens at the last moment before the forward: a request
+  // that is already late degrades to the analytic estimate instead of
+  // spending model time it no longer has.
+  const auto forward_start = Clock::now();
+  std::vector<Pending*> live;
+  live.reserve(batch.size());
+  for (auto& p : batch) {
+    if (p->deadline_seconds > 0.0 &&
+        seconds_since(p->submitted_at, forward_start) > p->deadline_seconds) {
+      stats_->fallbacks.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter deadline_fallbacks =
+          obs::counter("serve.deadline_fallbacks");
+      deadline_fallbacks.add(1);
+      resolve_fallback(
+          *p, log::format(
+                  "serve: deadline %.3fs expired after %.3fs in queue; "
+                  "served by analytic fallback (%s)",
+                  p->deadline_seconds,
+                  seconds_since(p->submitted_at, forward_start),
+                  flow::to_string(options_.fallback_strategy)));
+    } else {
+      live.push_back(p.get());
+    }
+  }
+  if (live.empty()) return;
+
+  if (MFA_FAULT_POINT("serve.batch_failure"))
+    throw check::CheckError("serve: fault-injected batch failure");
+
+  const std::int64_t n = static_cast<std::int64_t>(live.size());
+  const Shape fshape = live.front()->request.features.shape();
+  for (const Pending* p : live)
+    MFA_CHECK(p->request.features.shape() == fshape)
+        << " serve: mixed feature shapes in one batch ("
+        << shape_str(p->request.features.shape()) << " vs "
+        << shape_str(fshape) << ")";
+  const std::int64_t h = fshape[1];
+  const std::int64_t w = fshape[2];
+
+  Tensor input;
+  if (n == 1) {
+    input = ops::reshape(live.front()->request.features, {1, 6, h, w});
+  } else {
+    std::vector<Tensor> parts;
+    parts.reserve(live.size());
+    for (const Pending* p : live)
+      parts.push_back(ops::reshape(p->request.features, {1, 6, h, w}));
+    input = ops::concat(parts, 0);
+  }
+  Tensor levels = model_->predict_levels(input);  // [n, h, w]
+
+  stats_->batches.fetch_add(1, std::memory_order_relaxed);
+  {
+    static obs::Histogram occupancy = obs::histogram("serve.batch_occupancy");
+    occupancy.record(n);
+  }
+  const std::uint64_t version =
+      serving_version_.load(std::memory_order_acquire);
+  for (std::int64_t i = 0; i < n; ++i) {
+    Tensor one = ops::reshape(ops::narrow(levels, 0, i, 1), {h, w});
+    resolve_ok(*live[static_cast<size_t>(i)], std::move(one), n, version);
+  }
+}
+
+void Server::resolve_ok(Pending& p, Tensor levels, std::int64_t batch_size,
+                        std::uint64_t version) {
+  Response r;
+  r.status = Status::kOk;
+  r.retryable = false;
+  r.levels = std::move(levels);
+  r.weights_version = version;
+  r.batch_size = batch_size;
+  r.queue_seconds = p.queue_seconds;
+  r.total_seconds = seconds_since(p.submitted_at, Clock::now());
+  static obs::Histogram latency_ns = obs::histogram("serve.latency_ns");
+  latency_ns.record(static_cast<std::int64_t>(r.total_seconds * 1e9));
+  stats_->ok.fetch_add(1, std::memory_order_relaxed);
+  p.resolved = true;
+  p.promise.set_value(std::move(r));
+}
+
+void Server::resolve_fallback(Pending& p, const std::string& incident) {
+  Response r;
+  r.status = Status::kFallback;
+  r.retryable = false;
+  r.reason = incident;
+  r.incidents.push_back(incident);
+  const Shape& fs = p.request.features.shape();
+  std::vector<float> levels =
+      flow::analytic_levels(options_.fallback_strategy, p.request.features);
+  r.levels = Tensor::from_data({fs[1], fs[2]}, std::move(levels));
+  r.queue_seconds = p.queue_seconds;
+  r.total_seconds = seconds_since(p.submitted_at, Clock::now());
+  static obs::Histogram latency_ns = obs::histogram("serve.latency_ns");
+  latency_ns.record(static_cast<std::int64_t>(r.total_seconds * 1e9));
+  p.resolved = true;
+  p.promise.set_value(std::move(r));
+}
+
+void Server::resolve_terminal(Pending& p, Status status, bool retryable,
+                              const std::string& reason) {
+  Response r;
+  r.status = status;
+  r.retryable = retryable;
+  r.reason = reason;
+  r.total_seconds = seconds_since(p.submitted_at, Clock::now());
+  p.resolved = true;
+  p.promise.set_value(std::move(r));
+}
+
+void Server::handle_worker_crash(const std::string& what) {
+  stats_->worker_restarts.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter restarts = obs::counter("serve.worker_restarts");
+  restarts.add(1);
+  log::warn("serve: worker crashed (%s); poisoning %zu-request batch and "
+            "restarting",
+            what.c_str(), current_batch_.size());
+  // Poison only this batch: every member that had not resolved before the
+  // crash degrades to the analytic fallback with an incident naming the
+  // crash. Requests still in the queue are untouched.
+  for (auto& p : current_batch_) {
+    if (!p || p->resolved) continue;
+    stats_->fallbacks.fetch_add(1, std::memory_order_relaxed);
+    resolve_fallback(
+        *p, log::format("serve: batch crashed (%s); served by analytic "
+                        "fallback (%s)",
+                        what.c_str(),
+                        flow::to_string(options_.fallback_strategy)));
+  }
+  current_batch_.clear();
+  // The crash may have left the model mid-mutation; restore the last
+  // known-good snapshot before serving again.
+  std::shared_ptr<const nn::WeightSnapshot> snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap = current_snapshot_;
+  }
+  if (snap) nn::install_snapshot(*snap, model_->network());
+}
+
+}  // namespace mfa::serve

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Script-level check of mfa_serve's two-stage signal handling:
+#   1. one SIGINT mid-run  -> graceful drain: clients stop, in-flight work
+#      completes, the request accounting balances, exit status 0;
+#   2. two SIGINTs         -> forced exit with status 130;
+#   3. SIGTERM behaves like SIGINT (stage one).
+# Usage: serve_signals_test.sh <path-to-mfa_serve>
+set -euo pipefail
+
+BIN="${1:?usage: serve_signals_test.sh <mfa_serve binary>}"
+out="$(mktemp)"
+trap 'rm -f "${out}"' EXIT
+
+# Client pacing keeps the run alive until a signal lands. The forced-exit
+# scenario uses a much longer pace so the clients are guaranteed to still be
+# mid-sleep (i.e. the process is still draining) when the second signal fires.
+run_paced() {
+  MFA_SERVE_CLIENTS=2 MFA_SERVE_REQUESTS=1000 MFA_SERVE_PACE_MS="${1:-200}" \
+  MFA_SERVE_SWAP=0 "${BIN}" >"${out}" 2>&1 &
+}
+
+fail() {
+  echo "serve_signals_test: $1" >&2
+  echo "--- driver output ---" >&2
+  cat "${out}" >&2
+  exit 1
+}
+
+echo "[1/3] SIGINT drains gracefully"
+run_paced; pid=$!
+sleep 1
+kill -INT "${pid}"
+rc=0; wait "${pid}" || rc=$?
+[ "${rc}" -eq 0 ] || fail "graceful drain exited ${rc}, want 0"
+grep -q "drain requested" "${out}" || fail "missing drain marker"
+grep -q "drained clean" "${out}" || fail "request accounting did not balance"
+
+echo "[2/3] second SIGINT forces exit"
+run_paced 5000; pid=$!
+sleep 1
+kill -INT "${pid}"
+sleep 0.05
+kill -INT "${pid}" 2>/dev/null || fail "process exited before the forced-exit signal"
+rc=0; wait "${pid}" || rc=$?
+[ "${rc}" -eq 130 ] || fail "forced exit returned ${rc}, want 130"
+
+echo "[3/3] SIGTERM drains gracefully"
+run_paced; pid=$!
+sleep 1
+kill -TERM "${pid}"
+rc=0; wait "${pid}" || rc=$?
+[ "${rc}" -eq 0 ] || fail "SIGTERM drain exited ${rc}, want 0"
+grep -q "drained clean" "${out}" || fail "SIGTERM accounting did not balance"
+
+echo "serve_signals_test: all scenarios passed"

@@ -234,6 +234,74 @@ TEST(Checkpoint, CrashBeforeRenamePreservesPreviousFile) {
   std::remove((path + ".tmp").c_str());
 }
 
+TEST(Checkpoint, TransientIoFailureIsRetriedToSuccess) {
+  if (!common::FaultInjector::compiled_in())
+    GTEST_SKIP() << "fault injection compiled out (Release build)";
+  common::FaultInjector::instance().reset();
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  const auto path = temp_path("transient_once");
+  // One transient failure: the deterministic backoff retries past it and
+  // the save still lands atomically.
+  common::FaultInjector::instance().arm_nth("checkpoint.transient_io", 1);
+  save_checkpoint(a, path);
+  common::FaultInjector::instance().reset();
+  Linear b(4, 3, rng);
+  EXPECT_NO_THROW(load_checkpoint(b, path));
+  EXPECT_EQ(b.parameters()[0].to_vector(), a.parameters()[0].to_vector());
+  // The retry cleaned up after itself: no temp litter.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, PersistentTransientFailureExhaustsTheRetryBudget) {
+  if (!common::FaultInjector::compiled_in())
+    GTEST_SKIP() << "fault injection compiled out (Release build)";
+  common::FaultInjector::instance().reset();
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  const auto path = temp_path("transient_always");
+  save_checkpoint(a, path);  // good version on disk
+  common::FaultInjector::instance().arm_always("checkpoint.transient_io");
+  try {
+    save_checkpoint(a, path);
+    FAIL() << "persistent transient failure did not surface";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("persisted"), std::string::npos);
+  }
+  // Initial attempt + every budgeted retry actually ran.
+  EXPECT_EQ(
+      common::FaultInjector::instance().fire_count("checkpoint.transient_io"),
+      4);
+  common::FaultInjector::instance().reset();
+  // The previous checkpoint survives (atomicity held across all retries).
+  Linear b(4, 3, rng);
+  EXPECT_NO_THROW(load_checkpoint(b, path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CrashFaultIsNotRetried) {
+  if (!common::FaultInjector::compiled_in())
+    GTEST_SKIP() << "fault injection compiled out (Release build)";
+  common::FaultInjector::instance().reset();
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  const auto path = temp_path("crash_no_retry");
+  // A simulated crash is a permanent error: exactly one attempt, no backoff
+  // masking — otherwise the crash-recovery tests would be testing the retry
+  // loop instead of crash atomicity.
+  common::FaultInjector::instance().arm_always(
+      "checkpoint.crash_before_rename");
+  EXPECT_THROW(save_checkpoint(a, path), std::runtime_error);
+  EXPECT_EQ(common::FaultInjector::instance().fire_count(
+                "checkpoint.crash_before_rename"),
+            1);
+  common::FaultInjector::instance().reset();
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
 TEST(Checkpoint, RejectsTrailingGarbage) {
   Rng rng(1);
   Linear a(4, 3, rng);

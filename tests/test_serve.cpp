@@ -1,0 +1,293 @@
+// mfa::serve::Server unit tests: admission control, batching equivalence,
+// deadlines, hot weight swap, crash containment, and drain-on-shutdown.
+// Concurrency stress lives in test_serve_soak.cpp (label: soak).
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fault.h"
+#include "flow/strategies.h"
+#include "models/congestion_model.h"
+#include "nn/snapshot.h"
+#include "tensor/ops.h"
+
+namespace mfa::serve {
+namespace {
+
+using common::FaultInjector;
+
+models::ModelConfig small_config(std::uint64_t seed = 11) {
+  models::ModelConfig config;
+  config.grid = 16;
+  config.base_channels = 2;
+  config.transformer_layers = 1;
+  config.transformer_heads = 2;
+  config.seed = seed;
+  return config;
+}
+
+std::unique_ptr<models::CongestionModel> small_model(std::uint64_t seed = 11) {
+  return models::make_model("ours", small_config(seed));
+}
+
+Tensor features(std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::uniform({6, 16, 16}, rng, 0.0f, 1.0f);
+}
+
+std::vector<float> direct_levels(std::uint64_t model_seed,
+                                 const Tensor& feats) {
+  auto model = small_model(model_seed);
+  Tensor batched = ops::reshape(feats, {1, 6, 16, 16});
+  return model->predict_levels(batched).to_vector();
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(ServeTest, SingleRequestMatchesDirectModelBitIdentically) {
+  Server server(small_model(), ServerOptions{});
+  const Tensor feats = features(3);
+  Response r = server.predict({feats});
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_FALSE(r.retryable);
+  EXPECT_EQ(r.batch_size, 1);
+  EXPECT_EQ(r.weights_version, 1u);
+  EXPECT_EQ(r.levels.shape(), (Shape{16, 16}));
+  EXPECT_EQ(r.levels.to_vector(), direct_levels(11, feats));
+}
+
+TEST_F(ServeTest, BatchedRequestsEachMatchTheirDirectResult) {
+  ServerOptions opt;
+  opt.max_batch = 8;
+  opt.max_batch_wait_seconds = 0.05;  // generous: let the batch actually form
+  Server server(small_model(), opt);
+  server.pause_worker_for_testing(true);
+
+  constexpr int kN = 8;
+  std::vector<std::future<Response>> futures;
+  std::vector<Tensor> feats;
+  for (int i = 0; i < kN; ++i) {
+    feats.push_back(features(100 + static_cast<std::uint64_t>(i)));
+    futures.push_back(server.submit({feats.back()}));
+  }
+  server.pause_worker_for_testing(false);
+
+  for (int i = 0; i < kN; ++i) {
+    Response r = futures[static_cast<size_t>(i)].get();
+    ASSERT_EQ(r.status, Status::kOk) << "request " << i;
+    EXPECT_EQ(r.batch_size, kN) << "batch did not coalesce";
+    // Batched inference must be bit-identical to one-at-a-time inference:
+    // every per-sample op computes each output element independently.
+    EXPECT_EQ(r.levels.to_vector(),
+              direct_levels(11, feats[static_cast<size_t>(i)]))
+        << "request " << i;
+  }
+  EXPECT_EQ(server.stats().batches, 1);
+}
+
+TEST_F(ServeTest, RejectsMalformedFeatureTensors) {
+  Server server(small_model(), ServerOptions{});
+  EXPECT_THROW(server.submit({Tensor()}), check::CheckError);
+  EXPECT_THROW(server.submit({Tensor::zeros({6, 16})}), check::CheckError);
+  EXPECT_THROW(server.submit({Tensor::zeros({5, 16, 16})}),
+               check::CheckError);
+}
+
+TEST_F(ServeTest, ShedsWhenTheQueueIsFullAndRetryIsDeterministic) {
+  ServerOptions opt;
+  opt.max_queue_depth = 2;
+  Server server(small_model(), opt);
+  server.pause_worker_for_testing(true);
+
+  auto f1 = server.submit({features(1)});
+  auto f2 = server.submit({features(2)});
+  Response shed = server.predict({features(3)});  // queue full: immediate
+  EXPECT_EQ(shed.status, Status::kShed);
+  EXPECT_TRUE(shed.retryable);
+  EXPECT_NE(shed.reason.find("queue full"), std::string::npos);
+  EXPECT_FALSE(shed.levels.defined());
+
+  // predict_with_retry resubmits after a backoff delay; once the worker is
+  // released the queue drains and the retried request is served.
+  std::thread release([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.pause_worker_for_testing(false);
+  });
+  common::BackoffOptions bopt;
+  bopt.base_seconds = 5e-3;
+  bopt.max_seconds = 0.2;
+  bopt.max_retries = 50;
+  Response retried =
+      server.predict_with_retry({features(4)}, bopt, /*seed=*/9);
+  release.join();
+  EXPECT_EQ(retried.status, Status::kOk);
+  EXPECT_EQ(f1.get().status, Status::kOk);
+  EXPECT_EQ(f2.get().status, Status::kOk);
+  EXPECT_GE(server.stats().shed, 1);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineDegradesToAnalyticFallback) {
+  ServerOptions opt;
+  opt.default_deadline_seconds = 1e-4;
+  Server server(small_model(), opt);
+  server.pause_worker_for_testing(true);
+  auto f = server.submit({features(5)});
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // let it expire
+  server.pause_worker_for_testing(false);
+
+  Response r = f.get();
+  ASSERT_EQ(r.status, Status::kFallback);
+  ASSERT_EQ(r.incidents.size(), 1u);
+  EXPECT_NE(r.incidents[0].find("deadline"), std::string::npos);
+  // The degraded answer is exactly the flow's analytic estimate.
+  EXPECT_EQ(r.levels.to_vector(),
+            flow::analytic_levels(flow::Strategy::Utda, features(5)));
+  EXPECT_EQ(server.stats().fallbacks, 1);
+
+  // A request with an explicit generous deadline is unaffected.
+  Request generous{features(6)};
+  generous.deadline_seconds = 60.0;
+  EXPECT_EQ(server.predict(std::move(generous)).status, Status::kOk);
+}
+
+TEST_F(ServeTest, SwapWeightsPublishesAtomicallyAndServesNewModel) {
+  Server server(small_model(11), ServerOptions{});
+  const Tensor feats = features(7);
+  EXPECT_EQ(server.predict({feats}).levels.to_vector(),
+            direct_levels(11, feats));
+
+  auto donor = small_model(22);
+  const std::uint64_t version =
+      server.swap_weights(nn::snapshot_parameters(donor->network()));
+  EXPECT_EQ(version, 2u);
+
+  Response r = server.predict({feats});
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.weights_version, 2u);
+  EXPECT_EQ(server.weights_version(), 2u);
+  EXPECT_EQ(r.levels.to_vector(), direct_levels(22, feats));
+  EXPECT_EQ(server.stats().swaps, 1);
+}
+
+TEST_F(ServeTest, SwapRejectsWrongArchitectureAndKeepsServing) {
+  Server server(small_model(11), ServerOptions{});
+  auto wrong = models::make_model("unet", small_config());
+  EXPECT_THROW(server.swap_weights(nn::snapshot_parameters(wrong->network())),
+               nn::SnapshotError);
+  EXPECT_EQ(server.stats().swap_rejects, 1);
+  EXPECT_EQ(server.weights_version(), 1u);
+  const Tensor feats = features(8);
+  Response r = server.predict({feats});
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.levels.to_vector(), direct_levels(11, feats));
+}
+
+TEST_F(ServeTest, ShutdownDrainsAndFlushesQueuedRequests) {
+  Server server(small_model(), ServerOptions{});
+  server.pause_worker_for_testing(true);
+  std::vector<std::future<Response>> queued;
+  for (int i = 0; i < 3; ++i)
+    queued.push_back(server.submit({features(static_cast<std::uint64_t>(i))}));
+  server.shutdown();  // worker paused: all three must flush, none lost
+
+  for (auto& f : queued) {
+    Response r = f.get();
+    EXPECT_EQ(r.status, Status::kShuttingDown);
+    EXPECT_FALSE(r.retryable);
+  }
+  // Post-shutdown submissions resolve immediately with the same status.
+  Response late = server.predict({features(9)});
+  EXPECT_EQ(late.status, Status::kShuttingDown);
+  EXPECT_FALSE(server.accepting());
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.submitted, 4);
+  EXPECT_EQ(s.shutdown_rejected, 4);
+  EXPECT_EQ(s.ok + s.fallbacks + s.shed + s.shutdown_rejected, s.submitted);
+  server.shutdown();  // idempotent
+}
+
+TEST_F(ServeTest, InFlightBatchCompletesDuringShutdown) {
+  ServerOptions opt;
+  opt.max_batch_wait_seconds = 0.0;
+  Server server(small_model(), opt);
+  auto f = server.submit({features(10)});
+  // Shutdown must wait for the in-flight/queued request rather than dropping
+  // it; whichever side of the pickup race we land on, the future resolves
+  // terminally.
+  server.shutdown();
+  Response r = f.get();
+  EXPECT_TRUE(r.status == Status::kOk || r.status == Status::kShuttingDown);
+}
+
+// ---- fault-injection paths (Debug builds only) ----
+
+TEST_F(ServeTest, QueueFullFaultShedsOneRequest) {
+  if (!FaultInjector::compiled_in()) GTEST_SKIP() << "NDEBUG build";
+  Server server(small_model(), ServerOptions{});
+  FaultInjector::instance().arm_once("serve.queue_full");
+  Response r = server.predict({features(11)});
+  EXPECT_EQ(r.status, Status::kShed);
+  EXPECT_TRUE(r.retryable);
+  // The next request admits normally.
+  EXPECT_EQ(server.predict({features(12)}).status, Status::kOk);
+}
+
+TEST_F(ServeTest, BatchFailurePoisonsOnlyThatBatchAndWorkerRestarts) {
+  if (!FaultInjector::compiled_in()) GTEST_SKIP() << "NDEBUG build";
+  Server server(small_model(), ServerOptions{});
+  FaultInjector::instance().arm_once("serve.batch_failure");
+
+  Response poisoned = server.predict({features(13)});
+  ASSERT_EQ(poisoned.status, Status::kFallback);
+  ASSERT_EQ(poisoned.incidents.size(), 1u);
+  EXPECT_NE(poisoned.incidents[0].find("crash"), std::string::npos);
+  EXPECT_EQ(poisoned.levels.to_vector(),
+            flow::analytic_levels(flow::Strategy::Utda, features(13)));
+
+  // Containment: the worker restarted with known-good weights and the next
+  // request is served by the model, bit-identical to the pre-crash path.
+  const Tensor feats = features(14);
+  Response next = server.predict({feats});
+  ASSERT_EQ(next.status, Status::kOk);
+  EXPECT_EQ(next.levels.to_vector(), direct_levels(11, feats));
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.worker_restarts, 1);
+  EXPECT_EQ(s.fallbacks, 1);
+  EXPECT_EQ(s.ok, 1);
+}
+
+TEST_F(ServeTest, SwapCorruptFaultIsCaughtByValidation) {
+  if (!FaultInjector::compiled_in()) GTEST_SKIP() << "NDEBUG build";
+  Server server(small_model(11), ServerOptions{});
+  auto donor = small_model(22);
+  FaultInjector::instance().arm_once("serve.swap_corrupt");
+  EXPECT_THROW(server.swap_weights(nn::snapshot_parameters(donor->network())),
+               nn::SnapshotError);
+  EXPECT_EQ(server.weights_version(), 1u);
+  // The corrupted snapshot never reached the serving weights.
+  const Tensor feats = features(15);
+  EXPECT_EQ(server.predict({feats}).levels.to_vector(),
+            direct_levels(11, feats));
+}
+
+TEST_F(ServeTest, SlowWorkerFaultOnlyAddsLatency) {
+  if (!FaultInjector::compiled_in()) GTEST_SKIP() << "NDEBUG build";
+  Server server(small_model(), ServerOptions{});
+  FaultInjector::instance().arm_once("serve.slow_worker");
+  Response r = server.predict({features(16)});
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_GE(r.total_seconds, 0.05);
+}
+
+}  // namespace
+}  // namespace mfa::serve

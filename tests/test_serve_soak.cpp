@@ -1,0 +1,211 @@
+// Concurrency soak for mfa::serve::Server (ctest label: soak).
+//
+// N client threads x M requests each, across MFA-thread-pool widths {1, 4},
+// with fault injection raining on the admission queue and the batch worker.
+// The invariants pinned here are the serving layer's whole contract:
+//   * zero lost responses — every submitted future resolves terminally,
+//   * zero duplicated responses — submitted == ok+fallback+shed+shutdown,
+//   * answers are real — every ok/fallback response carries a level map,
+//   * the model path stays bit-identical to direct Model::predict under
+//     arbitrary interleaving, batching, sheds, and contained crashes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/thread_pool.h"
+#include "models/congestion_model.h"
+#include "serve/server.h"
+#include "tensor/ops.h"
+
+namespace mfa::serve {
+namespace {
+
+using common::FaultInjector;
+
+models::ModelConfig small_config(std::uint64_t seed = 11) {
+  models::ModelConfig config;
+  config.grid = 16;
+  config.base_channels = 2;
+  config.transformer_layers = 1;
+  config.transformer_heads = 2;
+  config.seed = seed;
+  return config;
+}
+
+Tensor features(std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::uniform({6, 16, 16}, rng, 0.0f, 1.0f);
+}
+
+struct SoakTally {
+  std::atomic<std::int64_t> ok{0};
+  std::atomic<std::int64_t> fallback{0};
+  std::atomic<std::int64_t> shed{0};
+  std::atomic<std::int64_t> shutting_down{0};
+  std::atomic<std::int64_t> undefined_levels{0};
+  std::atomic<std::int64_t> mismatches{0};
+};
+
+// One full soak round at the current thread-pool width. Returns the tally.
+void run_soak(bool with_faults, int clients, int per_client,
+              SoakTally& tally) {
+  // Reference results computed on a twin model, one per distinct feature
+  // seed (feature seed = client index, so batches mix distinct requests).
+  auto reference = models::make_model("ours", small_config());
+  std::map<int, std::vector<float>> expected;
+  for (int c = 0; c < clients; ++c) {
+    Tensor batched = ops::reshape(features(static_cast<std::uint64_t>(c)),
+                                  {1, 6, 16, 16});
+    expected[c] = reference->predict_levels(batched).to_vector();
+  }
+
+  ServerOptions opt;
+  opt.max_queue_depth = 8;  // small on purpose: sheds must actually happen
+  opt.max_batch = 4;
+  opt.max_batch_wait_seconds = 5e-4;
+  Server server(models::make_model("ours", small_config()), opt);
+
+  if (with_faults && FaultInjector::compiled_in()) {
+    FaultInjector::instance().arm_probability("serve.queue_full", 0.05, 91);
+    FaultInjector::instance().arm_probability("serve.batch_failure", 0.05,
+                                              92);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      common::BackoffOptions bopt;
+      bopt.base_seconds = 1e-4;
+      bopt.max_seconds = 2e-3;
+      bopt.max_retries = 3;  // bounded: exhausted retries count as sheds
+      for (int m = 0; m < per_client; ++m) {
+        Request req{features(static_cast<std::uint64_t>(c))};
+        if (m % 4 == 3) req.deadline_seconds = 1e-6;  // some always expire
+        Response r = server.predict_with_retry(
+            req, bopt, static_cast<std::uint64_t>(c * 1000 + m));
+        switch (r.status) {
+          case Status::kOk:
+            tally.ok.fetch_add(1);
+            if (!r.levels.defined()) tally.undefined_levels.fetch_add(1);
+            else if (r.levels.to_vector() != expected.at(c))
+              tally.mismatches.fetch_add(1);
+            break;
+          case Status::kFallback:
+            tally.fallback.fetch_add(1);
+            if (!r.levels.defined()) tally.undefined_levels.fetch_add(1);
+            break;
+          case Status::kShed:
+            tally.shed.fetch_add(1);
+            break;
+          case Status::kShuttingDown:
+            tally.shutting_down.fetch_add(1);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  FaultInjector::instance().reset();
+
+  // Terminal-resolution invariant on the server's own books: nothing lost,
+  // nothing double-counted. (Client retries resubmit, so server-side
+  // `submitted` >= client request count; the identity must still balance.)
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.submitted, s.ok + s.fallbacks + s.shed + s.shutdown_rejected);
+  EXPECT_GE(s.submitted, static_cast<std::int64_t>(clients) * per_client);
+
+  // The server survived the soak: a final clean request is served by the
+  // model, and shutdown still drains.
+  Response last = server.predict({features(0)});
+  EXPECT_EQ(last.status, Status::kOk);
+  EXPECT_EQ(last.levels.to_vector(), expected[0]);
+  server.shutdown();
+  const ServerStats end = server.stats();
+  EXPECT_EQ(end.submitted,
+            end.ok + end.fallbacks + end.shed + end.shutdown_rejected);
+}
+
+class ServeSoak : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    common::ThreadPool::instance().resize_for_testing(GetParam());
+  }
+  void TearDown() override {
+    FaultInjector::instance().reset();
+    common::ThreadPool::instance().resize_for_testing(1);
+  }
+};
+
+TEST_P(ServeSoak, EveryRequestResolvesExactlyOnceUnderLoad) {
+  SoakTally tally;
+  const int clients = 4;
+  const int per_client = 24;
+  run_soak(/*with_faults=*/true, clients, per_client, tally);
+
+  const std::int64_t total = tally.ok + tally.fallback + tally.shed +
+                             tally.shutting_down;
+  EXPECT_EQ(total, static_cast<std::int64_t>(clients) * per_client)
+      << "lost or duplicated responses";
+  EXPECT_EQ(tally.shutting_down.load(), 0);  // server never shut down early
+  EXPECT_EQ(tally.undefined_levels.load(), 0);
+  EXPECT_EQ(tally.mismatches.load(), 0)
+      << "batched serving diverged from direct Model::predict";
+  EXPECT_GT(tally.ok.load(), 0);
+  EXPECT_GT(tally.fallback.load(), 0);  // the 1e-6 s deadlines must expire
+}
+
+TEST_P(ServeSoak, FaultFreeSoakServesEverythingBitIdentically) {
+  SoakTally tally;
+  const int clients = 4;
+  const int per_client = 12;
+  // Deep queue + no faults: nothing may shed, nothing may crash. (Deadline
+  // requests in run_soak still degrade, which is correct behaviour.)
+  auto reference = models::make_model("ours", small_config());
+  std::map<int, std::vector<float>> expected;
+  for (int c = 0; c < clients; ++c) {
+    Tensor batched = ops::reshape(features(static_cast<std::uint64_t>(c)),
+                                  {1, 6, 16, 16});
+    expected[c] = reference->predict_levels(batched).to_vector();
+  }
+  ServerOptions opt;
+  opt.max_queue_depth = 256;
+  opt.max_batch = 8;
+  opt.max_batch_wait_seconds = 1e-3;
+  Server server(models::make_model("ours", small_config()), opt);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int m = 0; m < per_client; ++m) {
+        Response r = server.predict({features(static_cast<std::uint64_t>(c))});
+        if (r.status != Status::kOk) {
+          tally.shed.fetch_add(1);
+          continue;
+        }
+        tally.ok.fetch_add(1);
+        if (r.levels.to_vector() != expected.at(c)) tally.mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tally.shed.load(), 0);
+  EXPECT_EQ(tally.mismatches.load(), 0);
+  EXPECT_EQ(tally.ok.load(), static_cast<std::int64_t>(clients) * per_client);
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.submitted, s.ok);
+  EXPECT_GT(s.batches, 0);
+  EXPECT_LE(s.batches, s.ok);  // batching actually coalesced some requests
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadWidths, ServeSoak, ::testing::Values(1, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "threads_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mfa::serve
