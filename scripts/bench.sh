@@ -39,8 +39,22 @@
 # throughput / latency / shed-rate envelopes vs the baseline are enforced
 # on the fingerprinted host that captured it.
 #
-# Usage: scripts/bench.sh [--smoke] [--check] [--serve] [--filter REGEX]
-#                         [--trace FILE] [build-dir]
+# GEMM envelope: non-smoke runs also execute bench_gemm --envelope — the
+# worst-case speedup of the dispatched SIMD kernels over the scalar strips
+# on the packing-scale shapes, measured as a paired in-process ratio.
+# Under --check on the fingerprinted host the speedup must be >= 2x; off
+# the baseline host (or when only the scalar variant is compiled) the gate
+# warns and skips, since the achievable ratio depends on the ISA.
+#
+# GEMM autotuner: `--tune-gemm` runs bench/bench_gemm.cpp --tune instead of
+# bench_micro: it sweeps register-tile / panel / pack-threshold candidates
+# per supported SIMD variant over the model's real GEMM shapes and writes
+# the winners to bench/tuned/<host-fingerprint>.json, which the dispatcher
+# loads at startup (see tensor/gemm_tune.h). Commit the file to pin the
+# tuning for this host; other hosts fall back to compiled defaults.
+#
+# Usage: scripts/bench.sh [--smoke] [--check] [--serve] [--tune-gemm]
+#                         [--filter REGEX] [--trace FILE] [build-dir]
 #   --smoke    one repetition with a tiny min-time: proves the binary runs
 #              and the JSON pipeline works without burning CI minutes.
 #              Numbers are NOT meaningful; output goes to
@@ -64,6 +78,7 @@ cd "$(dirname "$0")/.."
 SMOKE=0
 CHECK=0
 SERVE=0
+TUNE_GEMM=0
 FILTER=""
 TRACE=""
 BUILD_DIR=build
@@ -72,6 +87,7 @@ while [ "$#" -gt 0 ]; do
     --smoke) SMOKE=1 ;;
     --check) CHECK=1 ;;
     --serve) SERVE=1 ;;
+    --tune-gemm) TUNE_GEMM=1 ;;
     --filter) FILTER="$2"; shift ;;
     --trace) TRACE="$2"; shift ;;
     -*) echo "bench.sh: unknown flag: $1" >&2; exit 2 ;;
@@ -108,6 +124,16 @@ if missing:
 print(f"bench.sh: {path}: {len(events)} spans, {len(names)} distinct"
       f" (all required pipeline spans present)")
 PY
+  exit 0
+fi
+
+# --tune-gemm mode: sweep tile candidates, write the per-host cache, then
+# print the per-variant GFLOP/s table with the new tiles live and exit.
+if [ "${TUNE_GEMM}" = 1 ]; then
+  cmake --build "${BUILD_DIR}" --target bench_gemm -j"$(nproc)"
+  "${BUILD_DIR}/bench/bench_gemm" --tune
+  echo "bench.sh: post-tune sweep (tuned tiles load from bench/tuned/):"
+  "${BUILD_DIR}/bench/bench_gemm" --sweep
   exit 0
 fi
 
@@ -269,8 +295,17 @@ else
 fi
 "${BUILD_DIR}/bench/bench_micro" "${OBS_ARGS[@]}"
 
+# Fourth pass, GEMM SIMD envelope: worst-case speedup of the best dispatched
+# variant over the scalar strips on the large shapes, as one JSON line.
+# Skipped in smoke mode (the timings would be meaningless).
+GEMM_LINE=""
+if [ "${SMOKE}" != 1 ]; then
+  cmake --build "${BUILD_DIR}" --target bench_gemm -j"$(nproc)"
+  GEMM_LINE=$("${BUILD_DIR}/bench/bench_gemm" --envelope | grep '^GEMM_ENVELOPE ' || true)
+fi
+
 SMOKE="${SMOKE}" CHECK="${CHECK}" RAW="${RAW}" RAW_OFF="${RAW_OFF}" \
-RAW_OBS="${RAW_OBS}" OUT="${OUT}" python3 - <<'PY'
+RAW_OBS="${RAW_OBS}" OUT="${OUT}" GEMM_LINE="${GEMM_LINE}" python3 - <<'PY'
 import json, os, sys
 
 smoke = os.environ["SMOKE"] == "1"
@@ -390,6 +425,23 @@ if obs_on and obs_off:
     if check and overhead > 0.02:
         obs_failure = overhead
 
+# GEMM SIMD envelope: paired scalar-vs-SIMD ratio from bench_gemm. The >= 2x
+# floor is only asserted on the fingerprinted baseline host — the achievable
+# ratio depends on the ISA and core — and never when only the scalar variant
+# is compiled (speedup is reported as 1.0 there by construction).
+gemm_envelope = None
+gemm_failure = None
+gemm_line = os.environ.get("GEMM_LINE", "")
+if gemm_line.startswith("GEMM_ENVELOPE "):
+    gemm_envelope = json.loads(gemm_line[len("GEMM_ENVELOPE "):])
+    if check and gemm_envelope["simd"] != "scalar":
+        if same_host:
+            if gemm_envelope["speedup"] < 2.0:
+                gemm_failure = gemm_envelope
+        else:
+            print("bench.sh: WARNING skipping GEMM envelope floor off the"
+                  " baseline host", file=sys.stderr)
+
 doc = {
     "context": raw.get("context", {}),
     "host": host,
@@ -399,6 +451,7 @@ doc = {
     "comparison": comparison,
     "allocation_check": allocation_check,
     "obs_overhead_check": obs_check,
+    "gemm_envelope": gemm_envelope,
     "benchmarks": raw.get("benchmarks", []),
 }
 with open(out_path, "w") as f:
@@ -416,6 +469,9 @@ for a in allocation_check:
     print(f"bench.sh: {a['name']}: heap allocs/iter"
           f" {a['heap_allocs_per_iter_pool_on']:.2f} (pool on) vs"
           f" {a['heap_allocs_per_iter_pool_off']:.2f} (pool off)")
+if gemm_envelope:
+    print(f"bench.sh: GEMM envelope: {gemm_envelope['simd']} is"
+          f" {gemm_envelope['speedup']:.2f}x scalar (worst large shape)")
 if obs_check:
     print(f"bench.sh: Conv2dTrainStep obs overhead:"
           f" {obs_check['overhead_fraction'] * 100.0:+.2f}%"
@@ -437,6 +493,11 @@ if obs_failure is not None:
     print(f"bench.sh: OBS OVERHEAD CHECK FAILED: Conv2dTrainStep is"
           f" {obs_failure * 100.0:.2f}% slower with MFA_OBS on (need <= 2%)",
           file=sys.stderr)
+    failed = True
+if gemm_failure is not None:
+    print(f"bench.sh: GEMM ENVELOPE CHECK FAILED: {gemm_failure['simd']} is"
+          f" only {gemm_failure['speedup']:.2f}x scalar on the large shapes"
+          " (need >= 2x on the baseline host)", file=sys.stderr)
     failed = True
 if sanitize_failures:
     print("bench.sh: SANITIZE CHECK FAILED: mfa::sanitize is compiled into"

@@ -71,6 +71,15 @@ run_config() {
 }
 
 run_config release RelWithDebInfo ""
+# Second release pass with the GEMM dispatch pinned to the scalar kernels:
+# every SIMD-capable box also proves the portable fallback — the code path
+# a non-x86 or pre-AVX2 host would run — end to end, including the golden
+# pipeline hash.
+echo "=== [release, MFA_SIMD=scalar] test ==="
+MFA_SIMD=scalar \
+ctest --test-dir build-ci/release --output-on-failure "${JOBS}" \
+  --output-junit ctest-junit-scalar.xml
+report_slowest build-ci/release/ctest-junit-scalar.xml "release, MFA_SIMD=scalar"
 run_config asan    Debug          address
 # Second ASan pass with the storage pool bypassed: recycling hides
 # use-after-free from the poisoning/quarantine machinery (a stale pointer

@@ -1,201 +1,322 @@
+// Dispatch front-end for the GEMM kernel family (see tensor/gemm.h).
+//
+// Owns everything the per-ISA kernel TUs must not touch: variant selection
+// (cpuid + MFA_SIMD + tuned-tile cache, resolved once), the row-parallel
+// partition, the sanitizer's declared-write ranges, the obs counters, and
+// the thread-local scratch arena. The kernel TUs (gemm_scalar.cpp,
+// gemm_avx2.cpp, gemm_avx512.cpp) export plain function-pointer tables and
+// contain only arithmetic — this TU is compiled at the build baseline, so
+// no wide instruction can leak onto an unsupported host before dispatch.
 #include "tensor/gemm.h"
 
-#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/log.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/sanitize.h"
+#include "common/thread_pool.h"
+#include "tensor/gemm_tune.h"
+#include "tensor/gemm_variant.h"
 
 namespace mfa::kernels {
 namespace {
 
-// Columns of C kept hot per microkernel pass. 4 rows x 512 floats = 8 KB of
-// C-block resident in L1 across the whole k loop, plus one 2 KB strip of B
-// streaming through.
-constexpr std::int64_t kColBlock = 512;
-
 // Row-parallel grain: a GEMM this small is not worth waking the pool for.
 constexpr std::int64_t kRowGrain = 16;
 
-/// One 4-row strip of gemm_nn: C[4,n] += A_rows * B[k,n], j-blocked.
-inline void nn_block4(const float* __restrict a0, const float* __restrict a1,
-                      const float* __restrict a2, const float* __restrict a3,
-                      const float* __restrict B, float* __restrict c0,
-                      float* __restrict c1, float* __restrict c2,
-                      float* __restrict c3, std::int64_t k, std::int64_t n) {
-  for (std::int64_t j0 = 0; j0 < n; j0 += kColBlock) {
-    const std::int64_t j1 = std::min(n, j0 + kColBlock);
-    for (std::int64_t l = 0; l < k; ++l) {
-      const float av0 = a0[l], av1 = a1[l], av2 = a2[l], av3 = a3[l];
-      const float* __restrict b = B + l * n;
-      for (std::int64_t j = j0; j < j1; ++j) {
-        c0[j] += av0 * b[j];
-        c1[j] += av1 * b[j];
-        c2[j] += av2 * b[j];
-        c3[j] += av3 * b[j];
-      }
-    }
+constexpr const char* kVariantNames[kNumVariants] = {"scalar", "avx2",
+                                                     "avx512"};
+
+#if defined(MFA_GEMM_X86)
+// __builtin_cpu_supports also verifies the OS saves the wider register
+// state (XGETBV), so a positive answer means the ISA is safe to execute.
+bool host_has_avx2() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+bool host_has_avx512() { return __builtin_cpu_supports("avx512f"); }
+#else
+bool host_has_avx2() { return false; }
+bool host_has_avx512() { return false; }
+#endif
+
+GemmTiles compiled_defaults(Variant v) {
+  GemmTiles t;  // the scalar strips read only nc (the legacy kColBlock)
+  switch (v) {
+    case Variant::kScalar:
+      break;
+    case Variant::kAvx2:
+      t.mr = 4;
+      t.nv = 2;
+      break;
+    case Variant::kAvx512:
+      t.mr = 4;
+      t.nv = 2;
+      break;
   }
+  return t;
 }
 
-/// One remaining row of gemm_nn.
-inline void nn_block1(const float* __restrict a, const float* __restrict B,
-                      float* __restrict c, std::int64_t k, std::int64_t n) {
-  for (std::int64_t j0 = 0; j0 < n; j0 += kColBlock) {
-    const std::int64_t j1 = std::min(n, j0 + kColBlock);
-    for (std::int64_t l = 0; l < k; ++l) {
-      const float av = a[l];
-      const float* __restrict b = B + l * n;
-      for (std::int64_t j = j0; j < j1; ++j) c[j] += av * b[j];
+struct VariantState {
+  detail::StripKernels strips;
+  bool supported = false;
+  GemmTiles base;   // startup tiles: tuned cache or compiled defaults
+  GemmTiles tiles;  // currently effective (== base unless overridden)
+};
+
+struct Dispatch {
+  VariantState v[kNumVariants];
+  Variant chosen = Variant::kScalar;
+  bool tuned_loaded = false;
+  std::string tuned_path;
+};
+
+Dispatch& dispatch();
+
+std::atomic<int> g_variant_override{-1};
+
+Variant active_in(const Dispatch& d) {
+  const int o = g_variant_override.load(std::memory_order_relaxed);
+  if (o >= 0 && o < kNumVariants && d.v[o].supported)
+    return static_cast<Variant>(o);
+  return d.chosen;
+}
+
+Dispatch make_dispatch() {
+  Dispatch d;
+  d.v[0].strips = detail::scalar_strips();
+  d.v[0].supported = true;
+#if defined(MFA_GEMM_X86)
+  if (host_has_avx2()) {
+    d.v[1].strips = detail::avx2_strips();
+    d.v[1].supported = true;
+    if (host_has_avx512()) {
+      d.v[2].strips = detail::avx512_strips();
+      d.v[2].supported = true;
     }
   }
+#endif
+  for (int i = 0; i < kNumVariants; ++i)
+    d.v[i].base = compiled_defaults(static_cast<Variant>(i));
+
+  // Tuned-tile cache: MFA_GEMM_TUNED path, else bench/tuned/<fp>.json.
+  // Any failure — missing, malformed, out-of-bounds, foreign host — means
+  // compiled defaults; a bad cache file must never break startup.
+  const char* env_path = std::getenv("MFA_GEMM_TUNED");
+  const std::string path =
+      env_path && *env_path ? env_path : tune::default_cache_path();
+  tune::TunedTable table;
+  std::string fp, err;
+  if (tune::parse_file(path, &table, &fp, &err)) {
+    const std::string host_fp = tune::host_id().fingerprint;
+    if (fp == host_fp) {
+      for (int i = 0; i < kNumVariants; ++i)
+        if (table.have[i]) d.v[i].base = table.tiles[i];
+      d.tuned_loaded = true;
+      d.tuned_path = path;
+    } else {
+      log::warn(
+          "gemm: tuned cache %s is for another host (fingerprint %s, this "
+          "host %s); using compiled default tiles",
+          path.c_str(), fp.c_str(), host_fp.c_str());
+    }
+  } else if (err != "missing") {
+    log::warn("gemm: ignoring tuned cache %s (%s); using compiled defaults",
+              path.c_str(), err.c_str());
+  }
+  for (int i = 0; i < kNumVariants; ++i) d.v[i].tiles = d.v[i].base;
+
+  d.chosen = detail::resolve_variant(std::getenv("MFA_SIMD"),
+                                     d.v[1].supported, d.v[2].supported);
+  const GemmTiles& ct = d.v[static_cast<int>(d.chosen)].tiles;
+  log::info(
+      "gemm: dispatch=%s (avx2=%d avx512=%d, tiles %s: mr=%d nv=%d nc=%lld "
+      "kc=%lld pack_min=%lld)",
+      kVariantNames[static_cast<int>(d.chosen)], d.v[1].supported ? 1 : 0,
+      d.v[2].supported ? 1 : 0, d.tuned_loaded ? "tuned" : "default", ct.mr,
+      ct.nv, static_cast<long long>(ct.nc), static_cast<long long>(ct.kc),
+      static_cast<long long>(ct.pack_min));
+
+  // Pull source: snapshot-time values survive MFA_OBS toggling and always
+  // reflect the live override state.
+  obs::Registry::instance().register_source("gemm", [] {
+    const Dispatch& s = dispatch();
+    const Variant a = active_in(s);
+    const GemmTiles& t = s.v[static_cast<int>(a)].tiles;
+    return std::vector<std::pair<std::string, double>>{
+        {"dispatch", static_cast<double>(static_cast<int>(a))},
+        {"supported.avx2", s.v[1].supported ? 1.0 : 0.0},
+        {"supported.avx512", s.v[2].supported ? 1.0 : 0.0},
+        {"tuned", s.tuned_loaded ? 1.0 : 0.0},
+        {"tiles.mr", static_cast<double>(t.mr)},
+        {"tiles.nv", static_cast<double>(t.nv)},
+        {"tiles.nc", static_cast<double>(t.nc)},
+        {"tiles.kc", static_cast<double>(t.kc)},
+        {"tiles.pack_min", static_cast<double>(t.pack_min)},
+    };
+  });
+  return d;
+}
+
+Dispatch& dispatch() {
+  static Dispatch d = make_dispatch();
+  return d;
+}
+
+/// Shared row-parallel driver. Declared writes: each chunk owns C rows
+/// [i0, i1). Nested calls (conv's batch loop) skip the declaration — their
+/// outputs are either ranges the enclosing chunk already declared (dW
+/// slots, output slices) or thread-local scratch that is reused across
+/// chunks and would read as a cross-chunk overlap to the checker.
+void run_rows(detail::StripKernels::StripFn fn, const float* A,
+              const float* B, float* C, std::int64_t m, std::int64_t k,
+              std::int64_t n, const GemmTiles& t) {
+  static obs::Counter calls = obs::counter("gemm.calls");
+  calls.add();
+  const bool top_level = !common::ThreadPool::in_parallel_region();
+  parallel_for(
+      m,
+      [&](std::int64_t i0, std::int64_t i1) {
+        if (top_level) sanitize::note_parallel_write(C, i0 * n, i1 * n);
+        fn(A, B, C, i0, i1, m, k, n, t);
+      },
+      kRowGrain);
 }
 
 }  // namespace
 
 void gemm_nn(const float* A, const float* B, float* C, std::int64_t m,
              std::int64_t k, std::int64_t n) {
-  parallel_for(
-      m,
-      [=](std::int64_t i0, std::int64_t i1) {
-        std::int64_t i = i0;
-        for (; i + 4 <= i1; i += 4)
-          nn_block4(A + i * k, A + (i + 1) * k, A + (i + 2) * k,
-                    A + (i + 3) * k, B, C + i * n, C + (i + 1) * n,
-                    C + (i + 2) * n, C + (i + 3) * n, k, n);
-        for (; i < i1; ++i) nn_block1(A + i * k, B, C + i * n, k, n);
-      },
-      kRowGrain);
+  const Dispatch& d = dispatch();
+  const VariantState& vs = d.v[static_cast<int>(active_in(d))];
+  run_rows(vs.strips.nn, A, B, C, m, k, n, vs.tiles);
 }
 
 void gemm_nt(const float* A, const float* B, float* C, std::int64_t m,
              std::int64_t k, std::int64_t n) {
-  parallel_for(
-      m,
-      [=](std::int64_t i0, std::int64_t i1) {
-        std::int64_t i = i0;
-        // 4x4 register tile of double accumulators: 16 independent dot
-        // products over contiguous rows of A and B, reduced k-ascending so
-        // each C element sees the exact order the scalar kernel used.
-        for (; i + 4 <= i1; i += 4) {
-          const float* __restrict a0 = A + i * k;
-          const float* __restrict a1 = a0 + k;
-          const float* __restrict a2 = a1 + k;
-          const float* __restrict a3 = a2 + k;
-          std::int64_t j = 0;
-          for (; j + 4 <= n; j += 4) {
-            const float* __restrict b0 = B + j * k;
-            const float* __restrict b1 = b0 + k;
-            const float* __restrict b2 = b1 + k;
-            const float* __restrict b3 = b2 + k;
-            double s00 = 0, s01 = 0, s02 = 0, s03 = 0;
-            double s10 = 0, s11 = 0, s12 = 0, s13 = 0;
-            double s20 = 0, s21 = 0, s22 = 0, s23 = 0;
-            double s30 = 0, s31 = 0, s32 = 0, s33 = 0;
-            for (std::int64_t l = 0; l < k; ++l) {
-              const double av0 = a0[l], av1 = a1[l], av2 = a2[l], av3 = a3[l];
-              const double bv0 = b0[l], bv1 = b1[l], bv2 = b2[l], bv3 = b3[l];
-              s00 += av0 * bv0; s01 += av0 * bv1; s02 += av0 * bv2; s03 += av0 * bv3;
-              s10 += av1 * bv0; s11 += av1 * bv1; s12 += av1 * bv2; s13 += av1 * bv3;
-              s20 += av2 * bv0; s21 += av2 * bv1; s22 += av2 * bv2; s23 += av2 * bv3;
-              s30 += av3 * bv0; s31 += av3 * bv1; s32 += av3 * bv2; s33 += av3 * bv3;
-            }
-            float* __restrict c0 = C + i * n + j;
-            float* __restrict c1 = c0 + n;
-            float* __restrict c2 = c1 + n;
-            float* __restrict c3 = c2 + n;
-            c0[0] += static_cast<float>(s00); c0[1] += static_cast<float>(s01);
-            c0[2] += static_cast<float>(s02); c0[3] += static_cast<float>(s03);
-            c1[0] += static_cast<float>(s10); c1[1] += static_cast<float>(s11);
-            c1[2] += static_cast<float>(s12); c1[3] += static_cast<float>(s13);
-            c2[0] += static_cast<float>(s20); c2[1] += static_cast<float>(s21);
-            c2[2] += static_cast<float>(s22); c2[3] += static_cast<float>(s23);
-            c3[0] += static_cast<float>(s30); c3[1] += static_cast<float>(s31);
-            c3[2] += static_cast<float>(s32); c3[3] += static_cast<float>(s33);
-          }
-          for (; j < n; ++j) {
-            const float* __restrict b = B + j * k;
-            double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-            for (std::int64_t l = 0; l < k; ++l) {
-              const double bv = b[l];
-              s0 += a0[l] * bv;
-              s1 += a1[l] * bv;
-              s2 += a2[l] * bv;
-              s3 += a3[l] * bv;
-            }
-            C[i * n + j] += static_cast<float>(s0);
-            C[(i + 1) * n + j] += static_cast<float>(s1);
-            C[(i + 2) * n + j] += static_cast<float>(s2);
-            C[(i + 3) * n + j] += static_cast<float>(s3);
-          }
-        }
-        for (; i < i1; ++i) {
-          const float* __restrict a = A + i * k;
-          float* __restrict c = C + i * n;
-          for (std::int64_t j = 0; j < n; ++j) {
-            const float* __restrict b = B + j * k;
-            double s = 0;
-            for (std::int64_t l = 0; l < k; ++l)
-              s += static_cast<double>(a[l]) * b[l];
-            c[j] += static_cast<float>(s);
-          }
-        }
-      },
-      kRowGrain);
+  const Dispatch& d = dispatch();
+  const VariantState& vs = d.v[static_cast<int>(active_in(d))];
+  run_rows(vs.strips.nt, A, B, C, m, k, n, vs.tiles);
 }
 
 void gemm_tn(const float* A, const float* B, float* C, std::int64_t m,
              std::int64_t k, std::int64_t n) {
-  parallel_for(
-      m,
-      [=](std::int64_t i0, std::int64_t i1) {
-        std::int64_t i = i0;
-        // A is walked transposed: a[l*m + i .. i+3] is a contiguous quad, so
-        // the 4-row strip reads both inputs unit-stride.
-        for (; i + 4 <= i1; i += 4) {
-          float* __restrict c0 = C + i * n;
-          float* __restrict c1 = c0 + n;
-          float* __restrict c2 = c1 + n;
-          float* __restrict c3 = c2 + n;
-          for (std::int64_t j0 = 0; j0 < n; j0 += kColBlock) {
-            const std::int64_t j1 = std::min(n, j0 + kColBlock);
-            for (std::int64_t l = 0; l < k; ++l) {
-              const float* __restrict aq = A + l * m + i;
-              const float av0 = aq[0], av1 = aq[1], av2 = aq[2], av3 = aq[3];
-              const float* __restrict b = B + l * n;
-              for (std::int64_t j = j0; j < j1; ++j) {
-                c0[j] += av0 * b[j];
-                c1[j] += av1 * b[j];
-                c2[j] += av2 * b[j];
-                c3[j] += av3 * b[j];
-              }
-            }
-          }
-        }
-        for (; i < i1; ++i) {
-          float* __restrict c = C + i * n;
-          for (std::int64_t j0 = 0; j0 < n; j0 += kColBlock) {
-            const std::int64_t j1 = std::min(n, j0 + kColBlock);
-            for (std::int64_t l = 0; l < k; ++l) {
-              const float av = A[l * m + i];
-              const float* __restrict b = B + l * n;
-              for (std::int64_t j = j0; j < j1; ++j) c[j] += av * b[j];
-            }
-          }
-        }
-      },
-      kRowGrain);
+  const Dispatch& d = dispatch();
+  const VariantState& vs = d.v[static_cast<int>(active_in(d))];
+  run_rows(vs.strips.tn, A, B, C, m, k, n, vs.tiles);
 }
+
+Variant active_variant() { return active_in(dispatch()); }
+
+bool variant_supported(Variant v) {
+  const int i = static_cast<int>(v);
+  return i >= 0 && i < kNumVariants && dispatch().v[i].supported;
+}
+
+const char* variant_name(Variant v) {
+  const int i = static_cast<int>(v);
+  return i >= 0 && i < kNumVariants ? kVariantNames[i] : "invalid";
+}
+
+GemmTiles variant_tiles(Variant v) {
+  const int i = static_cast<int>(v);
+  MFA_CHECK(i >= 0 && i < kNumVariants)
+      << " gemm: variant " << i << " out of range";
+  return dispatch().v[i].tiles;
+}
+
+bool set_variant_override(int v) {
+  if (v < 0) {
+    g_variant_override.store(-1, std::memory_order_relaxed);
+    return true;
+  }
+  if (v >= kNumVariants || !dispatch().v[v].supported) {
+    log::warn("gemm: ignoring variant override %d (%s)", v,
+              v >= kNumVariants ? "out of range" : "unsupported on this host");
+    return false;
+  }
+  g_variant_override.store(v, std::memory_order_relaxed);
+  return true;
+}
+
+void set_tiles_override(Variant v, const GemmTiles* tiles) {
+  const int i = static_cast<int>(v);
+  MFA_CHECK(i >= 0 && i < kNumVariants)
+      << " gemm: variant " << i << " out of range";
+  VariantState& vs = dispatch().v[i];
+  vs.tiles = tiles ? *tiles : vs.base;
+}
+
+bool tuned_tiles_loaded() { return dispatch().tuned_loaded; }
+
+std::string tuned_tiles_path() { return dispatch().tuned_path; }
+
+namespace detail {
+
+Variant resolve_variant(const char* mfa_simd, bool has_avx2,
+                        bool has_avx512) {
+  const Variant widest = has_avx512 ? Variant::kAvx512
+                         : has_avx2 ? Variant::kAvx2
+                                    : Variant::kScalar;
+  if (mfa_simd == nullptr || *mfa_simd == '\0') return widest;
+  const std::string s(mfa_simd);
+  if (s == "auto") return widest;
+  if (s == "scalar") return Variant::kScalar;
+  if (s == "avx2") {
+    if (has_avx2) return Variant::kAvx2;
+    log::warn("gemm: MFA_SIMD=avx2 but the host lacks AVX2+FMA; using scalar");
+    return Variant::kScalar;
+  }
+  if (s == "avx512") {
+    if (has_avx512) return Variant::kAvx512;
+    log::warn("gemm: MFA_SIMD=avx512 but the host lacks AVX-512F; using %s",
+              has_avx2 ? "avx2" : "scalar");
+    return has_avx2 ? Variant::kAvx2 : Variant::kScalar;
+  }
+  log::warn(
+      "gemm: unrecognised MFA_SIMD=\"%s\" (want scalar|avx2|avx512); "
+      "using %s",
+      s.c_str(), kVariantNames[static_cast<int>(widest)]);
+  return widest;
+}
+
+void note_packed_panel() {
+  static obs::Counter packed = obs::counter("gemm.packed_panels");
+  packed.add();
+}
+
+float* pack_buffer(std::int64_t floats) { return scratch(2, floats); }
+
+}  // namespace detail
 
 float* scratch(int slot, std::int64_t floats) {
   MFA_CHECK(slot >= 0 && slot < kScratchSlots)
       << " gemm scratch: slot " << slot << " out of range";
   MFA_CHECK(floats >= 0) << " gemm scratch: negative size " << floats;
-  thread_local std::vector<float> buffers[kScratchSlots];
-  auto& buf = buffers[slot];
-  if (static_cast<std::int64_t>(buf.size()) < floats)
-    buf.resize(static_cast<size_t>(floats));
-  return buf.data();
+  // 64-byte aligned so packed panels and im2col columns start on a cache
+  // line (and a full AVX-512 vector) regardless of the allocator.
+  struct Buffer {
+    float* data = nullptr;
+    std::int64_t cap = 0;
+    ~Buffer() { ::operator delete(data, std::align_val_t{64}); }
+  };
+  thread_local Buffer buffers[kScratchSlots];
+  Buffer& buf = buffers[slot];
+  if (floats > buf.cap) {
+    ::operator delete(buf.data, std::align_val_t{64});
+    buf.data = nullptr;
+    buf.cap = 0;
+    buf.data = static_cast<float*>(::operator new(
+        static_cast<std::size_t>(floats) * sizeof(float),
+        std::align_val_t{64}));
+    buf.cap = floats;
+  }
+  return buf.data;
 }
 
 }  // namespace mfa::kernels

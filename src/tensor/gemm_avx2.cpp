@@ -1,0 +1,75 @@
+// AVX2 + FMA GEMM kernels. This TU is compiled with -mavx2 -mfma (see
+// src/tensor/CMakeLists.txt) and must only be entered on hosts that pass the
+// dispatch front-end's cpuid check — everything here except avx2_strips()
+// lives in the anonymous namespace so no AVX2-encoded symbol can be picked
+// up by another TU at link time.
+#if defined(MFA_GEMM_X86)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "tensor/gemm_variant.h"
+
+namespace mfa::kernels::detail {
+namespace {
+
+struct V {
+  static constexpr int W = 8;
+  using vf = __m256;
+  static vf load(const float* p) { return _mm256_loadu_ps(p); }
+  static void store(float* p, vf v) { _mm256_storeu_ps(p, v); }
+  static vf broadcast(float f) { return _mm256_set1_ps(f); }
+  static vf fma(vf a, vf b, vf c) { return _mm256_fmadd_ps(a, b, c); }
+  static vf zero() { return _mm256_setzero_ps(); }
+
+  // Sliding window over {-1 x8, 0 x8} yields a mask with the low `rem`
+  // lanes active (rem in 1..8). maskload zeroes inactive lanes, so tail
+  // FMAs compute a*0+0 in the dead lanes and maskstore never writes them.
+  static __m256i mask(int rem) {
+    alignas(32) static const std::int32_t kTable[16] = {
+        -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0};
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kTable + 8 - rem));
+  }
+  static vf maskload(const float* p, int rem) {
+    return _mm256_maskload_ps(p, mask(rem));
+  }
+  static void maskstore(float* p, int rem, vf v) {
+    _mm256_maskstore_ps(p, mask(rem), v);
+  }
+
+  static constexpr int DW = 4;
+  using vd = __m256d;
+  static vd dzero() { return _mm256_setzero_pd(); }
+  static vd dload_cvt(const float* p) {
+    return _mm256_cvtps_pd(_mm_loadu_ps(p));
+  }
+  static vd dfma(vd a, vd b, vd c) { return _mm256_fmadd_pd(a, b, c); }
+  static double dhsum_seq(vd v) {
+    alignas(32) double t[4];
+    _mm256_store_pd(t, v);
+    return ((t[0] + t[1]) + t[2]) + t[3];
+  }
+
+  // 2x2 nt register tile: 4 double accumulators + 4 operand vectors fits
+  // comfortably in 16 ymm registers.
+  static constexpr int kNtRows = 2;
+  static constexpr int kNtCols = 2;
+};
+
+#include "tensor/gemm_simd.inl"
+
+}  // namespace
+
+StripKernels avx2_strips() {
+  StripKernels s;
+  s.nn = simd_nn;
+  s.nt = strip_nt;
+  s.tn = simd_tn;
+  return s;
+}
+
+}  // namespace mfa::kernels::detail
+
+#endif  // MFA_GEMM_X86

@@ -1,0 +1,79 @@
+// AVX-512F GEMM kernels. This TU is compiled with -mavx2 -mfma -mavx512f
+// (see src/tensor/CMakeLists.txt) and must only be entered on hosts that
+// pass the dispatch front-end's cpuid check — everything here except
+// avx512_strips() lives in the anonymous namespace so no AVX-512-encoded
+// symbol can be picked up by another TU at link time.
+#if defined(MFA_GEMM_X86)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "tensor/gemm_variant.h"
+
+namespace mfa::kernels::detail {
+namespace {
+
+struct V {
+  static constexpr int W = 16;
+  using vf = __m512;
+  static vf load(const float* p) { return _mm512_loadu_ps(p); }
+  static void store(float* p, vf v) { _mm512_storeu_ps(p, v); }
+  static vf broadcast(float f) { return _mm512_set1_ps(f); }
+  static vf fma(vf a, vf b, vf c) { return _mm512_fmadd_ps(a, b, c); }
+  static vf zero() { return _mm512_setzero_ps(); }
+
+  // Low `rem` lanes active (rem in 1..16); maskz load zeroes the rest, so
+  // tail FMAs compute a*0+0 in dead lanes and the masked store skips them.
+  static __mmask16 mask(int rem) {
+    return static_cast<__mmask16>((1u << rem) - 1u);
+  }
+  static vf maskload(const float* p, int rem) {
+    // mask_loadu with an explicit zero source rather than maskz_loadu: same
+    // semantics, but gcc 12's maskz expansion trips -Wmaybe-uninitialized
+    // at -O0 (the undef pass-through operand).
+    return _mm512_mask_loadu_ps(zero(), mask(rem), p);
+  }
+  static void maskstore(float* p, int rem, vf v) {
+    _mm512_mask_storeu_ps(p, mask(rem), v);
+  }
+
+  static constexpr int DW = 8;
+  using vd = __m512d;
+  static vd dzero() { return _mm512_setzero_pd(); }
+  static vd dload_cvt(const float* p) {
+    // Full-mask mask_cvtps_pd with an explicit zero source: identical to
+    // plain cvtps_pd, but the latter's undef pass-through operand trips
+    // gcc 12's -Wmaybe-uninitialized when inlined in Debug builds.
+    return _mm512_mask_cvtps_pd(_mm512_setzero_pd(),
+                                static_cast<__mmask8>(0xFF),
+                                _mm256_loadu_ps(p));
+  }
+  static vd dfma(vd a, vd b, vd c) { return _mm512_fmadd_pd(a, b, c); }
+  static double dhsum_seq(vd v) {
+    alignas(64) double t[8];
+    _mm512_store_pd(t, v);
+    return ((((((t[0] + t[1]) + t[2]) + t[3]) + t[4]) + t[5]) + t[6]) + t[7];
+  }
+
+  // 2x4 nt register tile: 8 double accumulators + 6 operand vectors out of
+  // 32 zmm registers.
+  static constexpr int kNtRows = 2;
+  static constexpr int kNtCols = 4;
+};
+
+#include "tensor/gemm_simd.inl"
+
+}  // namespace
+
+StripKernels avx512_strips() {
+  StripKernels s;
+  s.nn = simd_nn;
+  s.nt = strip_nt;
+  s.tn = simd_tn;
+  return s;
+}
+
+}  // namespace mfa::kernels::detail
+
+#endif  // MFA_GEMM_X86

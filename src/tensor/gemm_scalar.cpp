@@ -1,0 +1,195 @@
+// Portable scalar-source strip kernels — the dispatch fallback.
+//
+// These are the pre-dispatch kernels of src/tensor/gemm.cpp reshaped into
+// row-strip form: 4-row register strips with j-blocked column passes, relying
+// on the compiler's auto-vectoriser at the build baseline (this TU is
+// compiled -O3 -funroll-loops but with NO -m flags, so it runs on any
+// x86-64). The arithmetic is bit-identical to the original kernels — plain
+// mul+add in k-ascending order per C element, gemm_nt in double — which
+// keeps the historical golden pipeline hash valid for the scalar variant.
+//
+// Tile parameters: the scalar strips honour t.nc as the column block (the
+// old kColBlock; any value is bit-identical, see gemm_tiles.h) and ignore
+// mr/nv/kc/pack_min — the fixed 4-row strip shape is what the baseline
+// auto-vectoriser handles best, and packing only pays with wide SIMD loads.
+#include <algorithm>
+
+#include "tensor/gemm_variant.h"
+
+namespace mfa::kernels::detail {
+namespace {
+
+/// One 4-row strip of gemm_nn: C[4,n] += A_rows * B[k,n], j-blocked.
+inline void nn_block4(const float* __restrict a0, const float* __restrict a1,
+                      const float* __restrict a2, const float* __restrict a3,
+                      const float* __restrict B, float* __restrict c0,
+                      float* __restrict c1, float* __restrict c2,
+                      float* __restrict c3, std::int64_t k, std::int64_t n,
+                      std::int64_t col_block) {
+  for (std::int64_t j0 = 0; j0 < n; j0 += col_block) {
+    const std::int64_t j1 = std::min(n, j0 + col_block);
+    for (std::int64_t l = 0; l < k; ++l) {
+      const float av0 = a0[l], av1 = a1[l], av2 = a2[l], av3 = a3[l];
+      const float* __restrict b = B + l * n;
+      for (std::int64_t j = j0; j < j1; ++j) {
+        c0[j] += av0 * b[j];
+        c1[j] += av1 * b[j];
+        c2[j] += av2 * b[j];
+        c3[j] += av3 * b[j];
+      }
+    }
+  }
+}
+
+/// One remaining row of gemm_nn.
+inline void nn_block1(const float* __restrict a, const float* __restrict B,
+                      float* __restrict c, std::int64_t k, std::int64_t n,
+                      std::int64_t col_block) {
+  for (std::int64_t j0 = 0; j0 < n; j0 += col_block) {
+    const std::int64_t j1 = std::min(n, j0 + col_block);
+    for (std::int64_t l = 0; l < k; ++l) {
+      const float av = a[l];
+      const float* __restrict b = B + l * n;
+      for (std::int64_t j = j0; j < j1; ++j) c[j] += av * b[j];
+    }
+  }
+}
+
+void strip_nn(const float* A, const float* B, float* C, std::int64_t i0,
+              std::int64_t i1, std::int64_t m, std::int64_t k, std::int64_t n,
+              const GemmTiles& t) {
+  (void)m;
+  const std::int64_t col_block = std::max<std::int64_t>(1, t.nc);
+  std::int64_t i = i0;
+  for (; i + 4 <= i1; i += 4)
+    nn_block4(A + i * k, A + (i + 1) * k, A + (i + 2) * k, A + (i + 3) * k, B,
+              C + i * n, C + (i + 1) * n, C + (i + 2) * n, C + (i + 3) * n, k,
+              n, col_block);
+  for (; i < i1; ++i) nn_block1(A + i * k, B, C + i * n, k, n, col_block);
+}
+
+void strip_nt(const float* A, const float* B, float* C, std::int64_t i0,
+              std::int64_t i1, std::int64_t m, std::int64_t k, std::int64_t n,
+              const GemmTiles& t) {
+  (void)m;
+  (void)t;
+  std::int64_t i = i0;
+  // 4x4 register tile of double accumulators: 16 independent dot products
+  // over contiguous rows of A and B, reduced k-ascending so each C element
+  // sees the exact order the scalar kernel always used.
+  for (; i + 4 <= i1; i += 4) {
+    const float* __restrict a0 = A + i * k;
+    const float* __restrict a1 = a0 + k;
+    const float* __restrict a2 = a1 + k;
+    const float* __restrict a3 = a2 + k;
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* __restrict b0 = B + j * k;
+      const float* __restrict b1 = b0 + k;
+      const float* __restrict b2 = b1 + k;
+      const float* __restrict b3 = b2 + k;
+      double s00 = 0, s01 = 0, s02 = 0, s03 = 0;
+      double s10 = 0, s11 = 0, s12 = 0, s13 = 0;
+      double s20 = 0, s21 = 0, s22 = 0, s23 = 0;
+      double s30 = 0, s31 = 0, s32 = 0, s33 = 0;
+      for (std::int64_t l = 0; l < k; ++l) {
+        const double av0 = a0[l], av1 = a1[l], av2 = a2[l], av3 = a3[l];
+        const double bv0 = b0[l], bv1 = b1[l], bv2 = b2[l], bv3 = b3[l];
+        s00 += av0 * bv0; s01 += av0 * bv1; s02 += av0 * bv2; s03 += av0 * bv3;
+        s10 += av1 * bv0; s11 += av1 * bv1; s12 += av1 * bv2; s13 += av1 * bv3;
+        s20 += av2 * bv0; s21 += av2 * bv1; s22 += av2 * bv2; s23 += av2 * bv3;
+        s30 += av3 * bv0; s31 += av3 * bv1; s32 += av3 * bv2; s33 += av3 * bv3;
+      }
+      float* __restrict c0 = C + i * n + j;
+      float* __restrict c1 = c0 + n;
+      float* __restrict c2 = c1 + n;
+      float* __restrict c3 = c2 + n;
+      c0[0] += static_cast<float>(s00); c0[1] += static_cast<float>(s01);
+      c0[2] += static_cast<float>(s02); c0[3] += static_cast<float>(s03);
+      c1[0] += static_cast<float>(s10); c1[1] += static_cast<float>(s11);
+      c1[2] += static_cast<float>(s12); c1[3] += static_cast<float>(s13);
+      c2[0] += static_cast<float>(s20); c2[1] += static_cast<float>(s21);
+      c2[2] += static_cast<float>(s22); c2[3] += static_cast<float>(s23);
+      c3[0] += static_cast<float>(s30); c3[1] += static_cast<float>(s31);
+      c3[2] += static_cast<float>(s32); c3[3] += static_cast<float>(s33);
+    }
+    for (; j < n; ++j) {
+      const float* __restrict b = B + j * k;
+      double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      for (std::int64_t l = 0; l < k; ++l) {
+        const double bv = b[l];
+        s0 += a0[l] * bv;
+        s1 += a1[l] * bv;
+        s2 += a2[l] * bv;
+        s3 += a3[l] * bv;
+      }
+      C[i * n + j] += static_cast<float>(s0);
+      C[(i + 1) * n + j] += static_cast<float>(s1);
+      C[(i + 2) * n + j] += static_cast<float>(s2);
+      C[(i + 3) * n + j] += static_cast<float>(s3);
+    }
+  }
+  for (; i < i1; ++i) {
+    const float* __restrict a = A + i * k;
+    float* __restrict c = C + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* __restrict b = B + j * k;
+      double s = 0;
+      for (std::int64_t l = 0; l < k; ++l)
+        s += static_cast<double>(a[l]) * b[l];
+      c[j] += static_cast<float>(s);
+    }
+  }
+}
+
+void strip_tn(const float* A, const float* B, float* C, std::int64_t i0,
+              std::int64_t i1, std::int64_t m, std::int64_t k, std::int64_t n,
+              const GemmTiles& t) {
+  const std::int64_t col_block = std::max<std::int64_t>(1, t.nc);
+  std::int64_t i = i0;
+  // A is walked transposed: a[l*m + i .. i+3] is a contiguous quad, so the
+  // 4-row strip reads both inputs unit-stride.
+  for (; i + 4 <= i1; i += 4) {
+    float* __restrict c0 = C + i * n;
+    float* __restrict c1 = c0 + n;
+    float* __restrict c2 = c1 + n;
+    float* __restrict c3 = c2 + n;
+    for (std::int64_t j0 = 0; j0 < n; j0 += col_block) {
+      const std::int64_t j1 = std::min(n, j0 + col_block);
+      for (std::int64_t l = 0; l < k; ++l) {
+        const float* __restrict aq = A + l * m + i;
+        const float av0 = aq[0], av1 = aq[1], av2 = aq[2], av3 = aq[3];
+        const float* __restrict b = B + l * n;
+        for (std::int64_t j = j0; j < j1; ++j) {
+          c0[j] += av0 * b[j];
+          c1[j] += av1 * b[j];
+          c2[j] += av2 * b[j];
+          c3[j] += av3 * b[j];
+        }
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    float* __restrict c = C + i * n;
+    for (std::int64_t j0 = 0; j0 < n; j0 += col_block) {
+      const std::int64_t j1 = std::min(n, j0 + col_block);
+      for (std::int64_t l = 0; l < k; ++l) {
+        const float av = A[l * m + i];
+        const float* __restrict b = B + l * n;
+        for (std::int64_t j = j0; j < j1; ++j) c[j] += av * b[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StripKernels scalar_strips() {
+  StripKernels s;
+  s.nn = strip_nn;
+  s.nt = strip_nt;
+  s.tn = strip_tn;
+  return s;
+}
+
+}  // namespace mfa::kernels::detail

@@ -1,0 +1,226 @@
+// Shared SIMD GEMM skeleton — textually included by gemm_avx2.cpp and
+// gemm_avx512.cpp inside `namespace mfa::kernels::detail { namespace {`,
+// after each TU defines a vector policy struct `V`:
+//
+//   V::vf / V::W              float vector type and lane count
+//   load/store/broadcast/fma  unmasked float-vector ops (fma single-rounded)
+//   maskload/maskstore        no-fault partial vectors for the j tail
+//   zero                      all-zero vector
+//   V::vd / V::DW             double vector type and lane count (gemm_nt)
+//   dzero/dload_cvt/dfma      double ops; dload_cvt widens DW floats
+//   dhsum_seq                 lane 0 + lane 1 + ... strictly in lane order
+//   V::kNtRows / V::kNtCols   register-tile shape for gemm_nt
+//
+// This file holds no #includes and no exported symbols: everything lands in
+// the including TU's anonymous namespace, so the two ISA TUs never share an
+// inline symbol the linker could resolve to the wrong instruction set.
+//
+// Determinism contract (gemm_tiles.h): every C[i][j] of nn/tn is reduced as
+// a chain of single-rounded FMAs in strictly ascending k, whether the
+// element sits in a full register tile, a masked j tail, or a packed-panel
+// pass — so the (mr, nv, nc, kc, pack_min) tile parameters and the
+// pack/no-pack decision can never change a result bit. gemm_nt reduces in
+// V::DW double lanes (lane t owns l ≡ t mod DW), summed in fixed lane order
+// plus a scalar k tail — again independent of the register-tile grouping.
+
+// ---- nn / tn register-tiled microkernel ---------------------------------
+//
+// Computes C[r, jc+j] += sum_l a(r, l) * b(l, j) for r in [0, MR), j in
+// [0, jn), l in [0, kk), where a(r, l) = a0[r*a_si + l*a_sl] (a_sl = 1 for
+// nn, = m for tn), b(l, j) = b0[l*b_rs + j] (B in place or a packed panel),
+// and C rows are c0 + r*c_rs. Accumulators stay in registers across the
+// whole l loop; the j tail runs one masked vector at a time with the exact
+// same per-lane FMA chain.
+template <int MR, int NV>
+inline void tile_rows(const float* a0, std::int64_t a_si, std::int64_t a_sl,
+                      const float* b0, std::int64_t b_rs, float* c0,
+                      std::int64_t c_rs, std::int64_t kk, std::int64_t jn) {
+  constexpr int W = V::W;
+  std::int64_t j = 0;
+  for (; j + NV * W <= jn; j += NV * W) {
+    typename V::vf acc[MR][NV];
+    for (int r = 0; r < MR; ++r)
+      for (int v = 0; v < NV; ++v)
+        acc[r][v] = V::load(c0 + r * c_rs + j + v * W);
+    for (std::int64_t l = 0; l < kk; ++l) {
+      typename V::vf bv[NV];
+      const float* brow = b0 + l * b_rs + j;
+      for (int v = 0; v < NV; ++v) bv[v] = V::load(brow + v * W);
+      for (int r = 0; r < MR; ++r) {
+        const typename V::vf av = V::broadcast(a0[r * a_si + l * a_sl]);
+        for (int v = 0; v < NV; ++v) acc[r][v] = V::fma(av, bv[v], acc[r][v]);
+      }
+    }
+    for (int r = 0; r < MR; ++r)
+      for (int v = 0; v < NV; ++v)
+        V::store(c0 + r * c_rs + j + v * W, acc[r][v]);
+  }
+  for (; j < jn; j += W) {
+    const int rem = static_cast<int>(jn - j < W ? jn - j : W);
+    typename V::vf acc[MR];
+    for (int r = 0; r < MR; ++r) acc[r] = V::maskload(c0 + r * c_rs + j, rem);
+    for (std::int64_t l = 0; l < kk; ++l) {
+      const typename V::vf bv = V::maskload(b0 + l * b_rs + j, rem);
+      for (int r = 0; r < MR; ++r)
+        acc[r] = V::fma(V::broadcast(a0[r * a_si + l * a_sl]), bv, acc[r]);
+    }
+    for (int r = 0; r < MR; ++r) V::maskstore(c0 + r * c_rs + j, rem, acc[r]);
+  }
+}
+
+/// Runs tile_rows over rows [r0, r1), decomposing the strip into the largest
+/// instantiated row counts <= mr (8/4/2/1): a tuned mr only regroups rows,
+/// never changes any element's reduction.
+template <int NV>
+inline void rows_block(const float* A, std::int64_t a_si, std::int64_t a_sl,
+                       const float* b0, std::int64_t b_rs, float* C,
+                       std::int64_t c_rs, std::int64_t r0, std::int64_t r1,
+                       std::int64_t kk, std::int64_t jn, int mr) {
+  std::int64_t i = r0;
+  while (i < r1) {
+    const std::int64_t left = r1 - i;
+    const int avail = static_cast<int>(left < mr ? left : mr);
+    const float* a = A + i * a_si;
+    float* c = C + i * c_rs;
+    int step;
+    if (avail >= 8) {
+      step = 8;
+      tile_rows<8, NV>(a, a_si, a_sl, b0, b_rs, c, c_rs, kk, jn);
+    } else if (avail >= 4) {
+      step = 4;
+      tile_rows<4, NV>(a, a_si, a_sl, b0, b_rs, c, c_rs, kk, jn);
+    } else if (avail >= 2) {
+      step = 2;
+      tile_rows<2, NV>(a, a_si, a_sl, b0, b_rs, c, c_rs, kk, jn);
+    } else {
+      step = 1;
+      tile_rows<1, NV>(a, a_si, a_sl, b0, b_rs, c, c_rs, kk, jn);
+    }
+    i += step;
+  }
+}
+
+inline void rows_block_nv(const float* A, std::int64_t a_si, std::int64_t a_sl,
+                          const float* b0, std::int64_t b_rs, float* C,
+                          std::int64_t c_rs, std::int64_t r0, std::int64_t r1,
+                          std::int64_t kk, std::int64_t jn, int mr, int nv) {
+  if (nv >= 4)
+    rows_block<4>(A, a_si, a_sl, b0, b_rs, C, c_rs, r0, r1, kk, jn, mr);
+  else if (nv >= 2)
+    rows_block<2>(A, a_si, a_sl, b0, b_rs, C, c_rs, r0, r1, kk, jn, mr);
+  else
+    rows_block<1>(A, a_si, a_sl, b0, b_rs, C, c_rs, r0, r1, kk, jn, mr);
+}
+
+// ---- nn / tn strip driver: no-pack fast path + packed panels ------------
+//
+// a(i, l) = A[i*a_si + l*a_sl]; nn passes (k, 1), tn passes (1, m). Small
+// shapes (k*n < pack_min, or strips shorter than one register tile) stream B
+// in place — the per-batch conv GEMMs take this path and never pay a copy.
+// Large shapes copy kc x nc panels of B into the 64-byte-aligned thread-
+// local pack buffer, rows padded to the vector width, so the l loop streams
+// contiguous cache-resident lines. Panels ascend in k, so the per-element
+// FMA chain is the same one the no-pack path runs.
+inline void strip_nn_tn(const float* A, std::int64_t a_si, std::int64_t a_sl,
+                        const float* B, float* C, std::int64_t i0,
+                        std::int64_t i1, std::int64_t k, std::int64_t n,
+                        const GemmTiles& t) {
+  constexpr int W = V::W;
+  const int mr = t.mr > 0 ? t.mr : 4;
+  const int nv = t.nv > 0 ? t.nv : 2;
+  const bool pack = k * n >= t.pack_min && (i1 - i0) >= mr && k > 1;
+  if (!pack) {
+    rows_block_nv(A, a_si, a_sl, B, n, C, n, i0, i1, k, n, mr, nv);
+    return;
+  }
+  const std::int64_t nc = t.nc > W ? t.nc : W;
+  const std::int64_t kc = t.kc > 1 ? t.kc : 1;
+  for (std::int64_t jc = 0; jc < n; jc += nc) {
+    const std::int64_t ncb = n - jc < nc ? n - jc : nc;
+    const std::int64_t pad = (ncb + W - 1) / W * W;
+    for (std::int64_t pc = 0; pc < k; pc += kc) {
+      const std::int64_t kcb = k - pc < kc ? k - pc : kc;
+      float* P = pack_buffer(kcb * pad);
+      for (std::int64_t l = 0; l < kcb; ++l) {
+        const float* src = B + (pc + l) * n + jc;
+        float* dst = P + l * pad;
+        for (std::int64_t j = 0; j < ncb; ++j) dst[j] = src[j];
+        for (std::int64_t j = ncb; j < pad; ++j) dst[j] = 0.0f;
+      }
+      note_packed_panel();
+      rows_block_nv(A + pc * a_sl, a_si, a_sl, P, pad, C + jc, n, i0, i1, kcb,
+                    ncb, mr, nv);
+    }
+  }
+}
+
+// ---- nt: lane-split double-accumulator dot kernel -----------------------
+//
+// One register tile of MRD x NRD independent dot products: lane t of each
+// accumulator owns the l ≡ t (mod DW) terms, widened to double exactly like
+// the scalar kernel's promotion; the horizontal sum runs in fixed lane
+// order and the k tail is added scalar, ascending. Only DW (fixed per
+// variant) shapes the result — the tile grouping never does.
+template <int MRD, int NRD>
+inline void nt_tile(const float* A, const float* B, float* C, std::int64_t i,
+                    std::int64_t j, std::int64_t k, std::int64_t n) {
+  constexpr int DW = V::DW;
+  const float* a[MRD];
+  const float* b[NRD];
+  for (int r = 0; r < MRD; ++r) a[r] = A + (i + r) * k;
+  for (int c = 0; c < NRD; ++c) b[c] = B + (j + c) * k;
+  typename V::vd acc[MRD][NRD];
+  for (int r = 0; r < MRD; ++r)
+    for (int c = 0; c < NRD; ++c) acc[r][c] = V::dzero();
+  std::int64_t l = 0;
+  for (; l + DW <= k; l += DW) {
+    typename V::vd av[MRD], bv[NRD];
+    for (int r = 0; r < MRD; ++r) av[r] = V::dload_cvt(a[r] + l);
+    for (int c = 0; c < NRD; ++c) bv[c] = V::dload_cvt(b[c] + l);
+    for (int r = 0; r < MRD; ++r)
+      for (int c = 0; c < NRD; ++c)
+        acc[r][c] = V::dfma(av[r], bv[c], acc[r][c]);
+  }
+  for (int r = 0; r < MRD; ++r)
+    for (int c = 0; c < NRD; ++c) {
+      double s = V::dhsum_seq(acc[r][c]);
+      for (std::int64_t lt = l; lt < k; ++lt)
+        s += static_cast<double>(a[r][lt]) * static_cast<double>(b[c][lt]);
+      C[(i + r) * n + j + c] += static_cast<float>(s);
+    }
+}
+
+inline void strip_nt(const float* A, const float* B, float* C, std::int64_t i0,
+                     std::int64_t i1, std::int64_t m, std::int64_t k,
+                     std::int64_t n, const GemmTiles& t) {
+  (void)m;
+  (void)t;
+  constexpr int MRD = V::kNtRows;
+  constexpr int NRD = V::kNtCols;
+  std::int64_t i = i0;
+  for (; i + MRD <= i1; i += MRD) {
+    std::int64_t j = 0;
+    for (; j + NRD <= n; j += NRD) nt_tile<MRD, NRD>(A, B, C, i, j, k, n);
+    for (; j < n; ++j) nt_tile<MRD, 1>(A, B, C, i, j, k, n);
+  }
+  for (; i < i1; ++i) {
+    std::int64_t j = 0;
+    for (; j + NRD <= n; j += NRD) nt_tile<1, NRD>(A, B, C, i, j, k, n);
+    for (; j < n; ++j) nt_tile<1, 1>(A, B, C, i, j, k, n);
+  }
+}
+
+// ---- strip-kernel entry points (StripKernels signature) -----------------
+
+inline void simd_nn(const float* A, const float* B, float* C, std::int64_t i0,
+                    std::int64_t i1, std::int64_t m, std::int64_t k,
+                    std::int64_t n, const GemmTiles& t) {
+  (void)m;
+  strip_nn_tn(A, k, 1, B, C, i0, i1, k, n, t);
+}
+
+inline void simd_tn(const float* A, const float* B, float* C, std::int64_t i0,
+                    std::int64_t i1, std::int64_t m, std::int64_t k,
+                    std::int64_t n, const GemmTiles& t) {
+  strip_nn_tn(A, 1, m, B, C, i0, i1, k, n, t);
+}

@@ -1,0 +1,335 @@
+#include "tensor/gemm_tune.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace mfa::kernels::tune {
+namespace {
+
+constexpr const char* kVariantKeys[kNumVariants] = {"scalar", "avx2",
+                                                    "avx512"};
+
+// ---- minimal JSON reader -------------------------------------------------
+//
+// The cache schema is a flat object of strings, integers, and one nested
+// object per variant; this parser accepts exactly JSON's grammar for those
+// (plus skipping unknown members of any value shape) and rejects everything
+// else. Untrusted input: every failure surfaces as parse failure → compiled
+// defaults, never UB.
+
+struct Reader {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  bool fail(const std::string& what) {
+    if (err.empty()) err = what;
+    return false;
+  }
+  void ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+  bool expect(char c) {
+    ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+  bool peek(char c) {
+    ws();
+    return p < end && *p == c;
+  }
+  bool string(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c == '\\') {
+        if (p >= end) return fail("dangling escape");
+        const char e = *p++;
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: return fail("unsupported escape");
+        }
+      }
+      out->push_back(c);
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;
+    return true;
+  }
+  bool integer(std::int64_t* out) {
+    ws();
+    const bool neg = p < end && *p == '-';
+    if (neg) ++p;
+    if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+      return fail("expected integer");
+    std::int64_t v = 0;
+    while (p < end && std::isdigit(static_cast<unsigned char>(*p))) {
+      if (v > (INT64_MAX - 9) / 10) return fail("integer overflow");
+      v = v * 10 + (*p - '0');
+      ++p;
+    }
+    *out = neg ? -v : v;
+    return true;
+  }
+  // Skips one value of any supported shape (unknown members stay ignorable
+  // so future fields do not invalidate old binaries' caches).
+  bool skip_value() {
+    ws();
+    if (p >= end) return fail("unexpected end");
+    const char c = *p;
+    if (c == '"') {
+      std::string s;
+      return string(&s);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++p;
+      ws();
+      if (p < end && *p == close) {
+        ++p;
+        return true;
+      }
+      while (true) {
+        if (c == '{') {
+          std::string key;
+          if (!string(&key) || !expect(':')) return false;
+        }
+        if (!skip_value()) return false;
+        ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        return expect(close);
+      }
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t v;
+      return integer(&v);
+    }
+    for (const char* lit : {"true", "false", "null"}) {
+      const std::int64_t len = static_cast<std::int64_t>(std::strlen(lit));
+      if (end - p >= len && std::strncmp(p, lit, len) == 0) {
+        p += len;
+        return true;
+      }
+    }
+    return fail("unsupported value");
+  }
+};
+
+bool parse_tiles(Reader& r, GemmTiles* t) {
+  if (!r.expect('{')) return false;
+  if (r.peek('}')) return r.expect('}');
+  while (true) {
+    std::string key;
+    if (!r.string(&key) || !r.expect(':')) return false;
+    std::int64_t v;
+    if (!r.integer(&v)) return false;
+    if (key == "mr")
+      t->mr = static_cast<int>(v);
+    else if (key == "nv")
+      t->nv = static_cast<int>(v);
+    else if (key == "nc")
+      t->nc = v;
+    else if (key == "kc")
+      t->kc = v;
+    else if (key == "pack_min")
+      t->pack_min = v;
+    else
+      return r.fail("unknown tile field '" + key + "'");
+    if (r.peek(',')) {
+      r.expect(',');
+      continue;
+    }
+    return r.expect('}');
+  }
+}
+
+bool parse_variants(Reader& r, TunedTable* out) {
+  if (!r.expect('{')) return false;
+  if (r.peek('}')) return r.expect('}');
+  while (true) {
+    std::string key;
+    if (!r.string(&key) || !r.expect(':')) return false;
+    int idx = -1;
+    for (int v = 0; v < kNumVariants; ++v)
+      if (key == kVariantKeys[v]) idx = v;
+    if (idx < 0) return r.fail("unknown variant '" + key + "'");
+    GemmTiles t;
+    if (!parse_tiles(r, &t)) return false;
+    if (!tiles_sane(t)) return r.fail("tiles out of bounds for '" + key + "'");
+    out->tiles[idx] = t;
+    out->have[idx] = true;
+    if (r.peek(',')) {
+      r.expect(',');
+      continue;
+    }
+    return r.expect('}');
+  }
+}
+
+}  // namespace
+
+std::string fingerprint_of(const std::string& cpu, int cores) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  auto mix = [&h](unsigned char c) {
+    h ^= c;
+    h *= 1099511628211ull;
+  };
+  for (const char c : cpu) mix(static_cast<unsigned char>(c));
+  mix('|');
+  for (const char c : std::to_string(cores))
+    mix(static_cast<unsigned char>(c));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+HostId host_id() {
+  HostId id;
+  id.cpu = "unknown";
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.find("model name");
+    if (pos != 0) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) break;
+    auto start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    id.cpu = line.substr(start);
+    break;
+  }
+  id.cores = static_cast<int>(std::thread::hardware_concurrency());
+  id.fingerprint = fingerprint_of(id.cpu, id.cores);
+  return id;
+}
+
+bool tiles_sane(const GemmTiles& t) {
+  const bool mr_ok = t.mr == 1 || t.mr == 2 || t.mr == 4 || t.mr == 8;
+  const bool nv_ok = t.nv == 1 || t.nv == 2 || t.nv == 4;
+  return mr_ok && nv_ok && t.nc >= 16 && t.nc <= 65536 && t.kc >= 8 &&
+         t.kc <= 65536 && t.pack_min >= 0 &&
+         t.pack_min <= (std::int64_t{1} << 40);
+}
+
+std::string render(const HostId& host, const TunedTable& table) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"fingerprint\": \"" << host.fingerprint << "\",\n";
+  std::string cpu;
+  for (const char c : host.cpu) {
+    if (c == '"' || c == '\\') cpu.push_back('\\');
+    cpu.push_back(c);
+  }
+  out << "  \"cpu\": \"" << cpu << "\",\n";
+  out << "  \"cores\": " << host.cores << ",\n";
+  out << "  \"variants\": {";
+  bool first = true;
+  for (int v = 0; v < kNumVariants; ++v) {
+    if (!table.have[v]) continue;
+    const GemmTiles& t = table.tiles[v];
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    \"" << kVariantKeys[v] << "\": {\"mr\": " << t.mr
+        << ", \"nv\": " << t.nv << ", \"nc\": " << t.nc
+        << ", \"kc\": " << t.kc << ", \"pack_min\": " << t.pack_min << "}";
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+bool parse_text(const std::string& text, TunedTable* table,
+                std::string* fingerprint, std::string* err) {
+  *table = TunedTable{};
+  fingerprint->clear();
+  Reader r{text.data(), text.data() + text.size(), {}};
+  bool ok = [&] {
+    if (!r.expect('{')) return false;
+    if (r.peek('}')) return r.expect('}');
+    while (true) {
+      std::string key;
+      if (!r.string(&key) || !r.expect(':')) return false;
+      if (key == "fingerprint") {
+        if (!r.string(fingerprint)) return false;
+      } else if (key == "variants") {
+        if (!parse_variants(r, table)) return false;
+      } else {
+        if (!r.skip_value()) return false;
+      }
+      if (r.peek(',')) {
+        r.expect(',');
+        continue;
+      }
+      return r.expect('}');
+    }
+  }();
+  if (ok) {
+    r.ws();
+    if (r.p != r.end) {
+      ok = false;
+      r.fail("trailing content");
+    }
+  }
+  if (ok && fingerprint->empty()) {
+    ok = false;
+    r.fail("missing fingerprint");
+  }
+  if (!ok) *err = r.err.empty() ? "parse error" : r.err;
+  return ok;
+}
+
+bool parse_file(const std::string& path, TunedTable* table,
+                std::string* fingerprint, std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *err = "missing";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_text(buf.str(), table, fingerprint, err);
+}
+
+bool write_file(const std::string& path, const HostId& host,
+                const TunedTable& table, std::string* err) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    *err = "cannot open " + path;
+    return false;
+  }
+  out << render(host, table);
+  out.flush();
+  if (!out) {
+    *err = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+std::string default_cache_path() {
+  return "bench/tuned/" + host_id().fingerprint + ".json";
+}
+
+}  // namespace mfa::kernels::tune

@@ -1,0 +1,67 @@
+// Per-host tuned-tile cache for the dispatched GEMM (tensor/gemm.h).
+//
+// The offline autotuner (bench/bench_gemm.cpp, driven by `scripts/bench.sh
+// --tune-gemm`) sweeps GemmTiles candidates over the model's real GEMM
+// shapes and writes the winners to bench/tuned/<fingerprint>.json. At
+// startup the dispatch front-end loads that file — MFA_GEMM_TUNED overrides
+// the path — and falls back to compiled defaults when the file is missing,
+// malformed, fails the sanity bounds, or carries another host's fingerprint.
+// A bad cache file must never break startup: every failure path is a warning
+// plus defaults.
+//
+// The fingerprint hashes the /proc/cpuinfo model name and the core count —
+// the same identity scripts/bench.sh pins in bench/baseline.json — so a
+// cache captured on one machine is inert on any other.
+#pragma once
+
+#include <string>
+
+#include "tensor/gemm_tiles.h"
+
+namespace mfa::kernels::tune {
+
+/// Identity of the machine we are running on.
+struct HostId {
+  std::string cpu;          // /proc/cpuinfo "model name" ("unknown" if absent)
+  int cores = 0;            // std::thread::hardware_concurrency()
+  std::string fingerprint;  // fnv1a64 hex of "<cpu>|<cores>"
+};
+HostId host_id();
+
+/// FNV-1a 64-bit hex digest of "<cpu>|<cores>" (exposed for tests).
+std::string fingerprint_of(const std::string& cpu, int cores);
+
+/// Tuned tiles per variant; have[v] marks which variants the file carried.
+struct TunedTable {
+  bool have[kNumVariants] = {false, false, false};
+  GemmTiles tiles[kNumVariants];
+};
+
+/// Bounds check for untrusted tile parameters: mr in {1,2,4,8}, nv in
+/// {1,2,4}, nc in [16, 65536], kc in [8, 65536], pack_min in [0, 2^40].
+bool tiles_sane(const GemmTiles& t);
+
+/// Renders the cache-file JSON (stable field order, for tests and writing).
+std::string render(const HostId& host, const TunedTable& table);
+
+/// Parses a cache file. On success fills `table` and `fingerprint` (the
+/// file's claim — the caller compares it against the live host) and returns
+/// true. Returns false with a reason in `err` for a missing file, malformed
+/// JSON, an unknown variant name, or out-of-bounds tiles.
+bool parse_file(const std::string& path, TunedTable* table,
+                std::string* fingerprint, std::string* err);
+
+/// Same, from an in-memory JSON string (unit-test seam; `err` required).
+bool parse_text(const std::string& text, TunedTable* table,
+                std::string* fingerprint, std::string* err);
+
+/// Writes render(host, table) to `path`, creating parent directories.
+/// Returns false with a reason in `err` on I/O failure.
+bool write_file(const std::string& path, const HostId& host,
+                const TunedTable& table, std::string* err);
+
+/// "bench/tuned/<fingerprint>.json" — relative to the working directory,
+/// which is the repo root for scripts/bench.sh runs.
+std::string default_cache_path();
+
+}  // namespace mfa::kernels::tune

@@ -1,0 +1,50 @@
+// Internal seam between the dispatch front-end (gemm.cpp) and the per-ISA
+// kernel TUs. Not part of the public surface — include tensor/gemm.h instead.
+//
+// Each variant TU exports one StripKernels table of plain function pointers.
+// A strip kernel computes rows [i0, i1) of the output under the caller's
+// parallel_for partition; the dispatch front-end owns the threading, the
+// declared-write ranges for the race checker, and the obs counters, so the
+// ISA TUs stay free of inline library code (see gemm_tiles.h for why).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/gemm_tiles.h"
+
+namespace mfa::kernels::detail {
+
+/// Row-strip kernels for one variant. All three accumulate into C (C += ...)
+/// and must reduce each C[i][j] in fixed k-ascending order regardless of the
+/// tile parameters (see the determinism contract in gemm_tiles.h).
+///   nn: C[m,n] += A[m,k]   * B[k,n]
+///   nt: C[m,n] += A[m,k]   * B[n,k]^T
+///   tn: C[m,n] += A[k,m]^T * B[k,n]
+struct StripKernels {
+  using StripFn = void (*)(const float* A, const float* B, float* C,
+                           std::int64_t i0, std::int64_t i1, std::int64_t m,
+                           std::int64_t k, std::int64_t n, const GemmTiles& t);
+  StripFn nn = nullptr;
+  StripFn nt = nullptr;
+  StripFn tn = nullptr;
+};
+
+/// Per-variant kernel tables. scalar_strips() always exists; the SIMD tables
+/// are compiled whenever the target is x86-64 (MFA_GEMM_X86) and must only
+/// be *called* when the host supports the ISA.
+StripKernels scalar_strips();
+#if defined(MFA_GEMM_X86)
+StripKernels avx2_strips();
+StripKernels avx512_strips();
+#endif
+
+/// Bumps the gemm.packed_panels counter; defined in gemm.cpp so the ISA TUs
+/// do not pull the obs headers into a -mavx* compilation.
+void note_packed_panel();
+
+/// Thread-local packing buffer for the SIMD variants' B panels, 64-byte
+/// aligned. Defined in gemm.cpp (it is kernels::scratch slot 2 — slots 0 and
+/// 1 belong to callers, see tensor/gemm.h).
+float* pack_buffer(std::int64_t floats);
+
+}  // namespace mfa::kernels::detail
