@@ -191,19 +191,26 @@ int mode_tune(const std::string& out_path) {
     } else {
       const int pairs[][2] = {{2, 2}, {4, 1}, {4, 2}, {4, 4}, {8, 1}, {8, 2}};
       const std::int64_t panels[][2] = {{512, 256}, {1024, 128}, {256, 512}};
+      // pack_min_a spans "pack A eagerly" (1<<14) through "never on these
+      // shapes" (1<<40); within a variant every candidate is bit-identical,
+      // so the tuner picks purely on speed.
       for (const auto& p : pairs)
         for (const auto& blk : panels)
           for (std::int64_t pack_min :
                {std::int64_t{1} << 16, std::int64_t{1} << 17,
-                std::int64_t{1} << 18}) {
-            GemmTiles t;
-            t.mr = p[0];
-            t.nv = p[1];
-            t.nc = blk[0];
-            t.kc = blk[1];
-            t.pack_min = pack_min;
-            candidates.push_back(t);
-          }
+                std::int64_t{1} << 18})
+            for (std::int64_t pack_min_a :
+                 {std::int64_t{1} << 14, std::int64_t{1} << 16,
+                  std::int64_t{1} << 40}) {
+              GemmTiles t;
+              t.mr = p[0];
+              t.nv = p[1];
+              t.nc = blk[0];
+              t.kc = blk[1];
+              t.pack_min = pack_min;
+              t.pack_min_a = pack_min_a;
+              candidates.push_back(t);
+            }
     }
     double best_score = 1e30;
     GemmTiles best_tiles;
@@ -218,12 +225,13 @@ int mode_tune(const std::string& out_path) {
     table.have[idx] = true;
     table.tiles[idx] = best_tiles;
     std::printf(
-        "tuned %-7s mr=%d nv=%d nc=%lld kc=%lld pack_min=%lld  "
-        "(%.1f ms over %zu shapes, %zu candidates)\n",
+        "tuned %-7s mr=%d nv=%d nc=%lld kc=%lld pack_min=%lld "
+        "pack_min_a=%lld  (%.1f ms over %zu shapes, %zu candidates)\n",
         kernels::variant_name(v), best_tiles.mr, best_tiles.nv,
         static_cast<long long>(best_tiles.nc),
         static_cast<long long>(best_tiles.kc),
-        static_cast<long long>(best_tiles.pack_min), best_score * 1e3,
+        static_cast<long long>(best_tiles.pack_min),
+        static_cast<long long>(best_tiles.pack_min_a), best_score * 1e3,
         std::size(kShapes), candidates.size());
     kernels::set_tiles_override(v, nullptr);
   }

@@ -22,6 +22,13 @@
 # instrumented train step with metric recording on vs off in the same
 # process; --check fails when the enabled run is more than 2% slower.
 #
+# Tape plan-alloc check: BM_BackwardOnly exports tape_plan_allocs_per_iter —
+# the number of times the tape's backward planner had to grow its reusable
+# scratch (levels, task lists, visit stamps) per iteration, after a warm-up
+# backward. --check fails when it is non-zero: the steady-state backward
+# pass must be allocation-free in the planner (hardware-independent, so
+# enforced on any host).
+#
 # Sanitizer compile-out check: the pool-counter benchmarks export
 # sanitize_compiled_in; --check fails when it is non-zero, i.e. when the
 # mfa::sanitize storage checker (redzones, generation stamps, write-set
@@ -62,8 +69,9 @@
 #              BENCH_micro.json is never clobbered by throwaway data.
 #   --check    exit non-zero if any baseline benchmark regressed by more
 #              than 25% (skipped off-host), if the pool allocation
-#              reduction fails, if the obs overhead exceeds 2%, or if the
-#              storage sanitizer is compiled into this build
+#              reduction fails, if the backward planner allocates in steady
+#              state, if the obs overhead exceeds 2%, or if the storage
+#              sanitizer is compiled into this build
 #              (ignored in --smoke mode).
 #   --filter   forwarded to --benchmark_filter (default: run everything).
 #   --trace    run the bench_trace pipeline driver instead of bench_micro:
@@ -388,6 +396,19 @@ for b in raw.get("benchmarks", []):
     if ratio is None or ratio > 0.1:
         alloc_failures.append((b["name"], on, off))
 
+# Tape plan-alloc: steady-state backward must not grow planner scratch.
+# Hardware-independent (a count, not a time), so enforced on any host.
+tape_plan_check = []
+tape_failures = []
+for b in raw.get("benchmarks", []):
+    allocs = b.get("tape_plan_allocs_per_iter")
+    if allocs is None:
+        continue
+    tape_plan_check.append({"name": b["name"],
+                            "tape_plan_allocs_per_iter": allocs})
+    if check and allocs != 0:
+        tape_failures.append((b["name"], allocs))
+
 # Sanitizer compile-out: any pool-counter benchmark carries the flag; a
 # non-zero value means the Debug-only checker is present in this build.
 sanitize_failures = []
@@ -450,6 +471,7 @@ doc = {
                  "same_host": same_host if baseline else None},
     "comparison": comparison,
     "allocation_check": allocation_check,
+    "tape_plan_check": tape_plan_check,
     "obs_overhead_check": obs_check,
     "gemm_envelope": gemm_envelope,
     "benchmarks": raw.get("benchmarks", []),
@@ -469,6 +491,9 @@ for a in allocation_check:
     print(f"bench.sh: {a['name']}: heap allocs/iter"
           f" {a['heap_allocs_per_iter_pool_on']:.2f} (pool on) vs"
           f" {a['heap_allocs_per_iter_pool_off']:.2f} (pool off)")
+for t in tape_plan_check:
+    print(f"bench.sh: {t['name']}: tape plan allocs/iter"
+          f" {t['tape_plan_allocs_per_iter']:.2f} (steady state)")
 if gemm_envelope:
     print(f"bench.sh: GEMM envelope: {gemm_envelope['simd']} is"
           f" {gemm_envelope['speedup']:.2f}x scalar (worst large shape)")
@@ -488,6 +513,12 @@ if check and alloc_failures:
     for name, on, off in alloc_failures:
         print(f"bench.sh: ALLOCATION CHECK FAILED {name}: {on:.2f} allocs/iter"
               f" with pool vs {off:.2f} without (need <= 10%)", file=sys.stderr)
+    failed = True
+if tape_failures:
+    for name, allocs in tape_failures:
+        print(f"bench.sh: TAPE PLAN CHECK FAILED {name}: {allocs:.2f} planner"
+              " allocations/iter in steady state (backward must reuse its"
+              " plan scratch after warm-up)", file=sys.stderr)
     failed = True
 if obs_failure is not None:
     print(f"bench.sh: OBS OVERHEAD CHECK FAILED: Conv2dTrainStep is"

@@ -136,11 +136,12 @@ Dispatch make_dispatch() {
   const GemmTiles& ct = d.v[static_cast<int>(d.chosen)].tiles;
   log::info(
       "gemm: dispatch=%s (avx2=%d avx512=%d, tiles %s: mr=%d nv=%d nc=%lld "
-      "kc=%lld pack_min=%lld)",
+      "kc=%lld pack_min=%lld pack_min_a=%lld)",
       kVariantNames[static_cast<int>(d.chosen)], d.v[1].supported ? 1 : 0,
       d.v[2].supported ? 1 : 0, d.tuned_loaded ? "tuned" : "default", ct.mr,
       ct.nv, static_cast<long long>(ct.nc), static_cast<long long>(ct.kc),
-      static_cast<long long>(ct.pack_min));
+      static_cast<long long>(ct.pack_min),
+      static_cast<long long>(ct.pack_min_a));
 
   // Pull source: snapshot-time values survive MFA_OBS toggling and always
   // reflect the live override state.
@@ -158,6 +159,7 @@ Dispatch make_dispatch() {
         {"tiles.nc", static_cast<double>(t.nc)},
         {"tiles.kc", static_cast<double>(t.kc)},
         {"tiles.pack_min", static_cast<double>(t.pack_min)},
+        {"tiles.pack_min_a", static_cast<double>(t.pack_min_a)},
     };
   });
   return d;
@@ -290,7 +292,14 @@ void note_packed_panel() {
   packed.add();
 }
 
+void note_packed_a_panel() {
+  static obs::Counter packed = obs::counter("gemm.packed_a_panels");
+  packed.add();
+}
+
 float* pack_buffer(std::int64_t floats) { return scratch(2, floats); }
+
+float* pack_buffer_a(std::int64_t floats) { return scratch(4, floats); }
 
 }  // namespace detail
 

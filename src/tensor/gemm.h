@@ -95,9 +95,10 @@ Variant resolve_variant(const char* mfa_simd, bool has_avx2, bool has_avx512);
 /// unspecified — callers that need zeros must fill them. Buffers grow but
 /// never shrink, so the steady state is allocation-free.
 ///
-/// Slot 2 is reserved for the GEMM packed-B panels: any kernel that calls
-/// gemm_* while holding a scratch pointer must use slots 0, 1, or 3.
-inline constexpr int kScratchSlots = 4;
+/// Slots 2 and 4 are reserved for the GEMM packed panels (B and A
+/// respectively): any kernel that calls gemm_* while holding a scratch
+/// pointer must use slots 0, 1, or 3.
+inline constexpr int kScratchSlots = 5;
 float* scratch(int slot, std::int64_t floats);
 
 }  // namespace mfa::kernels

@@ -119,8 +119,13 @@ inline void rows_block_nv(const float* A, std::int64_t a_si, std::int64_t a_sl,
 // in place — the per-batch conv GEMMs take this path and never pay a copy.
 // Large shapes copy kc x nc panels of B into the 64-byte-aligned thread-
 // local pack buffer, rows padded to the vector width, so the l loop streams
-// contiguous cache-resident lines. Panels ascend in k, so the per-element
-// FMA chain is the same one the no-pack path runs.
+// contiguous cache-resident lines; when the strip's A volume clears
+// pack_min_a, the A panel for the k slice is also copied, into row-major
+// k-contiguous form (slot-4 buffer), so tn's stride-m broadcasts become unit
+// stride. The k slices run in the outer loop so one A panel serves every
+// column block. All panels ascend in k and every copy is value-preserving,
+// so the per-element FMA chain is the same one the no-pack path runs —
+// pack decisions and loop order can never change a result bit.
 inline void strip_nn_tn(const float* A, std::int64_t a_si, std::int64_t a_sl,
                         const float* B, float* C, std::int64_t i0,
                         std::int64_t i1, std::int64_t k, std::int64_t n,
@@ -128,18 +133,40 @@ inline void strip_nn_tn(const float* A, std::int64_t a_si, std::int64_t a_sl,
   constexpr int W = V::W;
   const int mr = t.mr > 0 ? t.mr : 4;
   const int nv = t.nv > 0 ? t.nv : 2;
-  const bool pack = k * n >= t.pack_min && (i1 - i0) >= mr && k > 1;
+  const std::int64_t rows = i1 - i0;
+  const bool pack = k * n >= t.pack_min && rows >= mr && k > 1;
   if (!pack) {
     rows_block_nv(A, a_si, a_sl, B, n, C, n, i0, i1, k, n, mr, nv);
     return;
   }
+  const bool pack_a = rows * k >= t.pack_min_a;
   const std::int64_t nc = t.nc > W ? t.nc : W;
   const std::int64_t kc = t.kc > 1 ? t.kc : 1;
-  for (std::int64_t jc = 0; jc < n; jc += nc) {
-    const std::int64_t ncb = n - jc < nc ? n - jc : nc;
-    const std::int64_t pad = (ncb + W - 1) / W * W;
-    for (std::int64_t pc = 0; pc < k; pc += kc) {
-      const std::int64_t kcb = k - pc < kc ? k - pc : kc;
+  for (std::int64_t pc = 0; pc < k; pc += kc) {
+    const std::int64_t kcb = k - pc < kc ? k - pc : kc;
+    // A operand for this k slice: in place, or the packed panel with rows
+    // renumbered to [0, rows) and k contiguous.
+    const float* a0 = A + pc * a_sl;
+    std::int64_t as_i = a_si, as_l = a_sl, r0 = i0, r1 = i1;
+    float* c0 = C;
+    if (pack_a) {
+      float* Q = pack_buffer_a(rows * kcb);
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float* src = A + (i0 + r) * a_si + pc * a_sl;
+        float* dst = Q + r * kcb;
+        for (std::int64_t l = 0; l < kcb; ++l) dst[l] = src[l * a_sl];
+      }
+      note_packed_a_panel();
+      a0 = Q;
+      as_i = kcb;
+      as_l = 1;
+      r0 = 0;
+      r1 = rows;
+      c0 = C + i0 * n;
+    }
+    for (std::int64_t jc = 0; jc < n; jc += nc) {
+      const std::int64_t ncb = n - jc < nc ? n - jc : nc;
+      const std::int64_t pad = (ncb + W - 1) / W * W;
       float* P = pack_buffer(kcb * pad);
       for (std::int64_t l = 0; l < kcb; ++l) {
         const float* src = B + (pc + l) * n + jc;
@@ -148,8 +175,8 @@ inline void strip_nn_tn(const float* A, std::int64_t a_si, std::int64_t a_sl,
         for (std::int64_t j = ncb; j < pad; ++j) dst[j] = 0.0f;
       }
       note_packed_panel();
-      rows_block_nv(A + pc * a_sl, a_si, a_sl, P, pad, C + jc, n, i0, i1, kcb,
-                    ncb, mr, nv);
+      rows_block_nv(a0, as_i, as_l, P, pad, c0 + jc, n, r0, r1, kcb, ncb, mr,
+                    nv);
     }
   }
 }

@@ -42,6 +42,10 @@ struct GemmTiles {
   std::int64_t nc = 512;          // packed-panel / column-block width (floats)
   std::int64_t kc = 256;          // packed-panel depth (k rows per panel)
   std::int64_t pack_min = 1 << 17;  // min k*n floats before packing B
+  // Min strip-rows * k floats before the packed-B path also packs the A
+  // panel (contiguous k-major rows; pays most for tn, whose in-place A reads
+  // stride by m). Only consulted when B packing is already on.
+  std::int64_t pack_min_a = 1 << 16;
 };
 
 }  // namespace mfa::kernels

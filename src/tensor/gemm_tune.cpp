@@ -152,6 +152,8 @@ bool parse_tiles(Reader& r, GemmTiles* t) {
       t->kc = v;
     else if (key == "pack_min")
       t->pack_min = v;
+    else if (key == "pack_min_a")
+      t->pack_min_a = v;
     else
       return r.fail("unknown tile field '" + key + "'");
     if (r.peek(',')) {
@@ -228,7 +230,8 @@ bool tiles_sane(const GemmTiles& t) {
   const bool nv_ok = t.nv == 1 || t.nv == 2 || t.nv == 4;
   return mr_ok && nv_ok && t.nc >= 16 && t.nc <= 65536 && t.kc >= 8 &&
          t.kc <= 65536 && t.pack_min >= 0 &&
-         t.pack_min <= (std::int64_t{1} << 40);
+         t.pack_min <= (std::int64_t{1} << 40) && t.pack_min_a >= 0 &&
+         t.pack_min_a <= (std::int64_t{1} << 40);
 }
 
 std::string render(const HostId& host, const TunedTable& table) {
@@ -251,7 +254,8 @@ std::string render(const HostId& host, const TunedTable& table) {
     first = false;
     out << "    \"" << kVariantKeys[v] << "\": {\"mr\": " << t.mr
         << ", \"nv\": " << t.nv << ", \"nc\": " << t.nc
-        << ", \"kc\": " << t.kc << ", \"pack_min\": " << t.pack_min << "}";
+        << ", \"kc\": " << t.kc << ", \"pack_min\": " << t.pack_min
+        << ", \"pack_min_a\": " << t.pack_min_a << "}";
   }
   out << "\n  }\n}\n";
   return out.str();

@@ -41,10 +41,15 @@ StripKernels avx512_strips();
 /// Bumps the gemm.packed_panels counter; defined in gemm.cpp so the ISA TUs
 /// do not pull the obs headers into a -mavx* compilation.
 void note_packed_panel();
+/// Bumps the gemm.packed_a_panels counter (A-panel copies).
+void note_packed_a_panel();
 
 /// Thread-local packing buffer for the SIMD variants' B panels, 64-byte
 /// aligned. Defined in gemm.cpp (it is kernels::scratch slot 2 — slots 0 and
 /// 1 belong to callers, see tensor/gemm.h).
 float* pack_buffer(std::int64_t floats);
+/// Same, for the A panels (kernels::scratch slot 4): A and B panels are live
+/// simultaneously inside one strip, so they need distinct slots.
+float* pack_buffer_a(std::int64_t floats);
 
 }  // namespace mfa::kernels::detail

@@ -18,7 +18,12 @@ GradCheckResult gradcheck(const std::function<Tensor()>& fn,
   analytic.reserve(inputs.size());
   for (const auto& in : inputs) analytic.push_back(in.grad().to_vector());
 
-  // Numeric pass (central differences), one coordinate at a time.
+  // Numeric pass (central differences), one coordinate at a time. No tape:
+  // these forwards are never backward'd, and recording them would pile nodes
+  // onto the thread's Tape until the next retire (as well as wasting closure
+  // allocations — the old shared_ptr web freed them per-temporary, the tape
+  // frees in bulk).
+  const NoGradGuard no_grad;
   for (size_t t = 0; t < inputs.size(); ++t) {
     Tensor in = inputs[t];
     const auto n = in.numel();

@@ -569,6 +569,15 @@ bool Storage::shared() const {
   return block_ && block_->refs.load(std::memory_order_relaxed) > 1;
 }
 
+Storage Storage::share_prefix(std::int64_t n) const {
+  MFA_CHECK(n >= 0 && n <= size_)
+      << " share_prefix(" << n << ") out of range on a " << size_
+      << "-float storage";
+  Storage s(*this);  // shares the block, bumps the refcount
+  s.size_ = n;
+  return s;
+}
+
 void Storage::acquire_new(std::int64_t n) {
   Block* fresh = StoragePool::instance().acquire(n);
   reset();

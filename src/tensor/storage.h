@@ -109,6 +109,12 @@ class Storage {
   /// True when other handles reference the same block.
   bool shared() const;
 
+  /// Handle sharing this handle's block (refcount bump, no copy) but exposing
+  /// only the first n floats (n <= size()). The tape arena hands out
+  /// bucket-capacity blocks through prefix handles so one parked entry serves
+  /// any op whose output fits the bucket.
+  Storage share_prefix(std::int64_t n) const;
+
   /// On-demand sanitizer check (no-op when mfa::sanitize is off): verifies
   /// this handle is still backed by the block generation it acquired, and
   /// that the block's guard zones are intact. Throws check::CheckError on a

@@ -1,17 +1,13 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
-#include <limits>
 #include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/check.h"
-#include "common/fault.h"
 #include "common/log.h"
 #include "common/sanitize.h"
+#include "tensor/tape.h"
 
 namespace mfa {
 
@@ -177,82 +173,10 @@ void Tensor::backward() {
   MFA_CHECK_EQ(numel(), 1)
       << " backward() requires a scalar root, got shape "
       << shape_str(impl_->shape);
-  // Topological sort (iterative post-order DFS) over the captured graph.
-  std::vector<detail::TensorImpl*> order;
-  std::unordered_set<detail::TensorImpl*> visited;
-  struct Frame {
-    detail::TensorImpl* node;
-    size_t next_parent;
-  };
-  std::vector<Frame> stack;
-  stack.push_back({impl_.get(), 0});
-  visited.insert(impl_.get());
-  while (!stack.empty()) {
-    Frame& f = stack.back();
-    if (f.next_parent < f.node->parents.size()) {
-      detail::TensorImpl* p = f.node->parents[f.next_parent++].get();
-      if (visited.insert(p).second) stack.push_back({p, 0});
-    } else {
-      order.push_back(f.node);
-      stack.pop_back();
-    }
-  }
-  impl_->ensure_grad();
-  impl_->grad[0] = 1.0f;
-  const bool scan_grads = check::finite_grad_checks_enabled();
-  // Dirty-set NaN/Inf guard: every tensor's gradient is scanned exactly ONCE,
-  // when the reverse-topo walk reaches it — at that point all of its
-  // consumers have already run their backward_fn, so the gradient is final.
-  // (The previous scheme re-scanned each parent after every consumer,
-  // costing O(tape x fan-in) full passes instead of O(total grad elements).)
-  // `last_writer` remembers which tape node last scattered into each tensor,
-  // so a failure is attributed to the op that produced the bad value.
-  std::unordered_map<detail::TensorImpl*, std::int64_t> last_writer;
-  std::int64_t tape_pos = 0;
-  for (auto it = order.rbegin(); it != order.rend(); ++it, ++tape_pos) {
-    detail::TensorImpl* node = *it;
-    if (scan_grads && !node->grad.empty()) {
-      bool ok = true;
-      for (const float v : node->grad)
-        if (!std::isfinite(v)) {
-          ok = false;
-          break;
-        }
-      if (!ok) {
-        const auto writer = last_writer.find(node);
-        const std::string what = log::format(
-            "backward() gradient of tensor shape %s (written by tape node "
-            "#%lld)",
-            shape_str(node->shape).c_str(),
-            writer == last_writer.end()
-                ? static_cast<long long>(-1)
-                : static_cast<long long>(writer->second));
-        check::check_all_finite(node->grad.data(),
-                                static_cast<std::int64_t>(node->grad.size()),
-                                what.c_str());
-      }
-    }
-    if (!node->backward_fn) continue;
-    {
-      // Backtrace-lite for mfa::sanitize: violations raised inside this
-      // closure report the op that recorded it plus its tape position.
-      const sanitize::OpScope op_scope(
-          node->op_name ? node->op_name : "backward", tape_pos);
-      node->backward_fn();
-    }
-    if (MFA_FAULT_POINT("tensor.nan_grad") && !node->parents.empty()) {
-      auto& pg = node->parents.front()->grad;
-      if (!pg.empty()) pg[0] = std::numeric_limits<float>::quiet_NaN();
-    }
-    if (scan_grads)
-      for (const auto& parent : node->parents)
-        last_writer[parent.get()] = tape_pos;
-    // The node is retired: its gradient was just fully scattered into the
-    // parents, and no later tape node reads it (reverse topo order), so the
-    // buffer goes back to the pool now instead of when the graph dies.
-    // Leaves (no backward_fn) keep their gradient for the optimizer.
-    node->grad.reset();
-  }
+  // The calling thread's tape owns the recorded graph; it plans the
+  // reverse-topological schedule, runs the closures (sequentially or
+  // level-parallel, see tensor/tape.h), and retires the whole tape.
+  tensor::Tape::current().execute_backward(impl_);
 }
 
 Tensor Tensor::detach() const {
@@ -290,19 +214,25 @@ void Tensor::copy_from(const Tensor& src) {
 }
 
 Tensor Tensor::make_result(Shape shape, std::vector<Tensor> inputs,
-                           std::function<void(detail::TensorImpl&)> backward) {
-  Tensor out = zeros(std::move(shape));
-  if (!GradMode::enabled() || !backward) return out;
+                           std::function<void(detail::TensorImpl&)> backward,
+                           unsigned flags) {
+  auto& tape = tensor::Tape::current();
   bool needs = false;
-  for (const auto& in : inputs) needs = needs || in.requires_grad();
+  if (GradMode::enabled() && backward)
+    for (const auto& in : inputs) needs = needs || in.requires_grad();
+  auto impl = std::make_shared<detail::TensorImpl>();
+  const auto n = shape_numel(shape);
+  impl->shape = std::move(shape);
+  // Op outputs draw from the tape arena when it may serve (recording, or an
+  // inference ArenaScope is active); leaves and parameters built through the
+  // plain factories stay on StoragePool.
+  impl->data = tape.intermediate_storage(n, needs);
+  Tensor out(std::move(impl));
   if (!needs) return out;
   out.impl_->requires_grad = true;
-  out.impl_->op_name = sanitize::current_op();
-  out.impl_->parents.reserve(inputs.size());
-  for (const auto& in : inputs)
-    if (in.defined()) out.impl_->parents.push_back(in.impl());
-  detail::TensorImpl* raw = out.impl_.get();  // owned by the closure's owner
-  out.impl_->backward_fn = [raw, fn = std::move(backward)]() { fn(*raw); };
+  out.impl_->tape_id = tape.record(sanitize::current_op(), out.impl_, inputs,
+                                   std::move(backward), flags);
+  out.impl_->tape_epoch = tape.epoch();
   return out;
 }
 

@@ -7,14 +7,18 @@
 //    kernels) at the cost of some copies that are negligible at the scales
 //    this library targets.
 //  * Autograd is a dynamic tape: each op that produces a grad-requiring
-//    output records a closure that scatters the output gradient into its
-//    inputs. Tensor::backward() topologically sorts the captured graph and
-//    runs the closures in reverse order. As each non-leaf node retires, its
-//    gradient buffer is released back to the storage pool (leaves keep
-//    theirs for the optimizer).
+//    output records a node (backward closure + parent references) on the
+//    calling thread's mfa::tensor::Tape (see tensor/tape.h).
+//    Tensor::backward() hands execution to the tape: a reverse-topological
+//    schedule runs the closures — sequentially or level-parallel across the
+//    ThreadPool depending on MFA_EXEC — then retires the whole tape in one
+//    bulk step. As each non-leaf node retires, its gradient buffer is
+//    released back to the storage pool (leaves keep theirs for the
+//    optimizer).
 //  * All buffers are tensor::Storage handles drawn from the recycling
-//    StoragePool (see tensor/storage.h), so steady-state training and
-//    inference loops stop allocating after a warm-up iteration.
+//    StoragePool (see tensor/storage.h); op intermediates additionally
+//    recycle through the tape's arena. Steady-state training and inference
+//    loops stop allocating after a warm-up iteration.
 //  * GradMode (thread-local) disables tape construction for inference.
 #pragma once
 
@@ -44,13 +48,18 @@ struct TensorImpl {
   tensor::Storage data;
   tensor::Storage grad;  // lazily acquired from the pool, same length as data
   bool requires_grad = false;
-  // Name of the op that produced this node (static-storage string stamped by
-  // make_result from sanitize::current_op()); backtrace-lite context for
-  // mfa::sanitize violation reports. Null for leaves / when the checker is
-  // off.
-  const char* op_name = nullptr;
-  std::function<void()> backward_fn;                 // null for leaves
-  std::vector<std::shared_ptr<TensorImpl>> parents;  // autograd edges
+  // Tape linkage: the node id this impl's producing op recorded on the
+  // calling thread's Tape, valid only while tape_epoch matches the tape's
+  // current epoch (backward() retires the whole tape and bumps the epoch).
+  // -1 / stale epoch means leaf: parameters, inputs, detached tensors, and
+  // survivors of an already-retired graph.
+  std::int32_t tape_id = -1;
+  std::uint64_t tape_epoch = 0;
+  // Scratch owned by the tape planner/executor (see tensor/tape.h); stamped
+  // fields so backward() bookkeeping allocates nothing per call.
+  std::uint64_t plan_stamp = 0;
+  std::int32_t plan_last = -1;
+  std::int32_t last_grad_writer = -1;  // finite-grad scan attribution
   void ensure_grad() {
     if (grad.size() != data.size())
       grad.assign(static_cast<std::int64_t>(data.size()), 0.0f);
@@ -137,10 +146,16 @@ class Tensor {
   // ---- internals shared by the op kernels ----
   std::shared_ptr<detail::TensorImpl> impl() const { return impl_; }
   static Tensor wrap(std::shared_ptr<detail::TensorImpl> impl);
-  /// Creates the result tensor of an op, wiring requires_grad/parents when
-  /// recording is active. `backward` may be null for non-differentiable ops.
+  /// make_result flags: the op's backward closure is a trivial elementwise
+  /// scatter (output grad read once per element, parents written once per
+  /// element, no reduction) — the tape's graph executor may fuse a chain of
+  /// such nodes into one task. Scheduling hint only; never changes numerics.
+  static constexpr unsigned kOpFlagElementwise = 1u << 0;
+  /// Creates the result tensor of an op, recording a tape node when autograd
+  /// is active. `backward` may be null for non-differentiable ops.
   static Tensor make_result(Shape shape, std::vector<Tensor> inputs,
-                            std::function<void(detail::TensorImpl&)> backward);
+                            std::function<void(detail::TensorImpl&)> backward,
+                            unsigned flags = 0);
 
  private:
   explicit Tensor(std::shared_ptr<detail::TensorImpl> impl)

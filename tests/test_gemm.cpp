@@ -184,20 +184,23 @@ TEST(GemmDeterminism, BitIdenticalAcrossThreadCounts) {
 TEST(GemmDeterminism, BitIdenticalAcrossTileParametersAndPacking) {
   DispatchGuard guard;
   const std::int64_t m = 96, k = 80, n = 112;
-  // Configs straddle every lever: register tile shape, panel sizes, and
-  // pack_min at both extremes (0 = always pack, huge = never pack).
-  GemmTiles configs[5];
+  // Configs straddle every lever: register tile shape, panel sizes,
+  // pack_min at both extremes (0 = always pack, huge = never pack), and
+  // pack_min_a at both extremes (A panel always / never copied).
+  GemmTiles configs[6];
   configs[0] = GemmTiles{};
   configs[1].mr = 1;
   configs[1].nv = 1;
   configs[1].nc = 64;
   configs[1].kc = 32;
   configs[1].pack_min = 0;
+  configs[1].pack_min_a = 0;
   configs[2].mr = 8;
   configs[2].nv = 4;
   configs[2].nc = 128;
   configs[2].kc = 48;
   configs[2].pack_min = 0;
+  configs[2].pack_min_a = std::int64_t{1} << 40;
   configs[3].mr = 2;
   configs[3].nv = 2;
   configs[3].nc = 4096;
@@ -208,10 +211,14 @@ TEST(GemmDeterminism, BitIdenticalAcrossTileParametersAndPacking) {
   configs[4].nc = 48;
   configs[4].kc = 16;
   configs[4].pack_min = 1;
+  configs[4].pack_min_a = 1;
+  configs[5] = GemmTiles{};
+  configs[5].pack_min = 0;
+  configs[5].pack_min_a = 0;
   for (Variant v : supported_variants()) {
     for (const Op& op : kOps) {
       const auto base = run_once(op, v, &configs[0], 1, m, k, n);
-      for (size_t c = 1; c < 5; ++c) {
+      for (size_t c = 1; c < 6; ++c) {
         const auto got = run_once(op, v, &configs[c], 1, m, k, n);
         ASSERT_EQ(0, std::memcmp(base.data(), got.data(),
                                  base.size() * sizeof(float)))
@@ -373,6 +380,7 @@ TEST(GemmTune, RenderParseRoundTripPreservesTiles) {
   table.tiles[2].nc = 1024;
   table.tiles[2].kc = 128;
   table.tiles[2].pack_min = 65536;
+  table.tiles[2].pack_min_a = 4096;
 
   const std::string text = kernels::tune::render(host, table);
   kernels::tune::TunedTable parsed;
@@ -387,6 +395,7 @@ TEST(GemmTune, RenderParseRoundTripPreservesTiles) {
   EXPECT_EQ(1024, parsed.tiles[2].nc);
   EXPECT_EQ(128, parsed.tiles[2].kc);
   EXPECT_EQ(65536, parsed.tiles[2].pack_min);
+  EXPECT_EQ(4096, parsed.tiles[2].pack_min_a);
 }
 
 TEST(GemmTune, CorruptAndOutOfBoundsInputsAreRejected) {
@@ -452,6 +461,10 @@ TEST(GemmTune, TilesSaneBounds) {
   t.pack_min = -1;
   EXPECT_FALSE(kernels::tune::tiles_sane(t));
   t.pack_min = 0;
+  EXPECT_TRUE(kernels::tune::tiles_sane(t));
+  t.pack_min_a = -1;
+  EXPECT_FALSE(kernels::tune::tiles_sane(t));
+  t.pack_min_a = 0;
   EXPECT_TRUE(kernels::tune::tiles_sane(t));
 }
 

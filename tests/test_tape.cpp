@@ -1,0 +1,444 @@
+// Tests for the autograd tape + graph executor (tensor/tape.h).
+//
+// The contract under test: MFA_EXEC=graph schedules independent backward
+// branches across the ThreadPool yet stays BIT-identical to the sequential
+// walk — for any thread count, pool mode, fusion on/off — because the
+// planner serialises the consumers of every shared grad-requiring tensor in
+// sequential execution order (chain edges) and only fuses execution-adjacent
+// sole-consumer elementwise pairs. The tape arena must recycle intermediate
+// buffers across steps without perturbing numerics, keep escaped tensors
+// alive, and give memory back when the workload shrinks. Diagnostics (race
+// tracking, finite-grad scans) pin the sequential walk so their reports are
+// schedule-independent across MFA_EXEC modes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/sanitize.h"
+#include "common/thread_pool.h"
+#include "nn/optim.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+#include "tensor/storage.h"
+#include "tensor/tape.h"
+#include "tensor/tensor.h"
+
+namespace mfa {
+namespace {
+
+using ops::add;
+using ops::conv2d;
+using ops::mul;
+using ops::relu;
+using ops::sum;
+using tensor::Executor;
+using tensor::StoragePool;
+using tensor::Tape;
+
+/// Pins the executor mode, fusion, arena, and pool-thread count for a test
+/// body; restores everything on exit. The tape knobs are thread-local, so
+/// this configures exactly the thread the graphs are built and run on.
+class TapeEnv {
+ public:
+  TapeEnv(Executor exec, int threads, bool fusion = true, bool arena = true)
+      : exec_prev_(Tape::current().executor()),
+        fusion_prev_(Tape::current().fusion_enabled()),
+        arena_prev_(Tape::current().arena_enabled()),
+        threads_prev_(common::ThreadPool::instance().size()) {
+    Tape::current().set_executor_for_testing(exec);
+    Tape::current().set_fusion_for_testing(fusion);
+    Tape::current().set_arena_for_testing(arena);
+    common::ThreadPool::instance().resize_for_testing(threads);
+  }
+  ~TapeEnv() {
+    common::ThreadPool::instance().resize_for_testing(threads_prev_);
+    Tape::current().set_arena_for_testing(arena_prev_);
+    Tape::current().set_fusion_for_testing(fusion_prev_);
+    Tape::current().set_executor_for_testing(exec_prev_);
+  }
+
+ private:
+  Executor exec_prev_;
+  bool fusion_prev_;
+  bool arena_prev_;
+  int threads_prev_;
+};
+
+Tensor make_input(Shape shape, int seed, float scale = 1.0f) {
+  Rng rng(static_cast<std::uint64_t>(seed));
+  return Tensor::randn(std::move(shape), rng, scale, /*requires_grad=*/true);
+}
+
+/// A wide graph: `branches` independent relu(w_i * x_i) arms joined by a
+/// balanced add tree. Each arm's backward tasks are heavy enough for the
+/// level dispatcher to fan out, and the arms share no grad-requiring tensor,
+/// so they land in one level.
+Tensor wide_branch_loss(const std::vector<Tensor>& ws,
+                        const std::vector<Tensor>& xs) {
+  std::vector<Tensor> arms;
+  arms.reserve(ws.size());
+  for (size_t i = 0; i < ws.size(); ++i)
+    arms.push_back(sum(relu(mul(ws[i], xs[i]))));
+  while (arms.size() > 1) {
+    std::vector<Tensor> next;
+    for (size_t i = 0; i + 1 < arms.size(); i += 2)
+      next.push_back(add(arms[i], arms[i + 1]));
+    if (arms.size() % 2 == 1) next.push_back(arms.back());
+    arms.swap(next);
+  }
+  return arms.front();
+}
+
+/// Gradients of `params` after backward of fn(), as flat bytes for bitwise
+/// comparison.
+std::vector<float> grads_after_backward(const std::function<Tensor()>& fn,
+                                        std::vector<Tensor>& params) {
+  for (auto& p : params) p.zero_grad();
+  fn().backward();
+  std::vector<float> flat;
+  for (auto& p : params) {
+    const auto g = p.grad().to_vector();
+    flat.insert(flat.end(), g.begin(), g.end());
+  }
+  return flat;
+}
+
+// ---- correctness: gradcheck under the graph executor --------------------
+
+TEST(TapeGraph, DiamondGraphGradchecksUnderGraphExecutor) {
+  const TapeEnv env(Executor::kGraph, 4);
+  Tensor a = make_input({64}, 11, 0.5f);
+  const auto result = gradcheck(
+      [&] {
+        // Two distinct paths from one tensor, re-joined: the planner must
+        // chain both consumers of `a` and both writers into its grad.
+        // Smooth ops only — a relu kink near zero would dominate the
+        // finite-difference error.
+        Tensor left = mul(a, a);
+        Tensor right = ops::tanh(a);
+        return sum(add(mul(left, right), left));
+      },
+      {a}, /*eps=*/1e-2f, /*tol=*/5e-2f);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(TapeGraph, SharedSubexpressionAccumulatesIdenticallyToSeq) {
+  // s = a*a feeds three consumers; every scatter into s.grad (and then into
+  // a.grad) must accumulate in the sequential walk's order, bit for bit.
+  Tensor a = make_input({4096}, 12, 0.5f);
+  Tensor b = make_input({4096}, 13, 0.5f);
+  std::vector<Tensor> params = {a, b};
+  const auto build = [&] {
+    Tensor s = mul(a, a);
+    return sum(add(add(mul(s, b), relu(s)), mul(s, s)));
+  };
+  std::vector<float> seq_grads, graph_grads;
+  {
+    const TapeEnv env(Executor::kSeq, 1);
+    seq_grads = grads_after_backward(build, params);
+  }
+  {
+    const TapeEnv env(Executor::kGraph, 4);
+    graph_grads = grads_after_backward(build, params);
+  }
+  ASSERT_EQ(seq_grads.size(), graph_grads.size());
+  for (size_t i = 0; i < seq_grads.size(); ++i)
+    ASSERT_EQ(seq_grads[i], graph_grads[i]) << "grad diverged at " << i;
+}
+
+TEST(TapeGraph, ConvTrainStepBitIdenticalSeqVsGraphAndFusionOnOff) {
+  // A conv+elementwise composite trained for a few steps: parameters must
+  // stay bitwise equal between MFA_EXEC modes and with fusion on/off.
+  const auto run = [](Executor exec, int threads,
+                      bool fusion) -> std::vector<float> {
+    const TapeEnv env(exec, threads, fusion);
+    Rng rng(99);
+    Tensor x = Tensor::randn({2, 3, 8, 8}, rng, 1.0f);
+    Tensor w = Tensor::randn({4, 3, 3, 3}, rng, 0.3f, true);
+    Tensor bias = Tensor::zeros({4}, true);
+    std::vector<Tensor> params = {w, bias};
+    nn::Sgd opt(params, 0.05f);
+    for (int step = 0; step < 3; ++step) {
+      opt.zero_grad();
+      Tensor y = relu(conv2d(x, w, bias, 1, 1));
+      sum(mul(y, y)).backward();
+      opt.step();
+    }
+    std::vector<float> flat;
+    for (const auto& p : params) {
+      const auto v = p.to_vector();
+      flat.insert(flat.end(), v.begin(), v.end());
+    }
+    return flat;
+  };
+  const auto baseline = run(Executor::kSeq, 1, true);
+  EXPECT_EQ(baseline, run(Executor::kGraph, 1, true));
+  EXPECT_EQ(baseline, run(Executor::kGraph, 4, true));
+  EXPECT_EQ(baseline, run(Executor::kGraph, 4, false));
+  EXPECT_EQ(baseline, run(Executor::kSeq, 4, false));
+}
+
+// ---- scheduling: the plan actually fuses and parallelises ---------------
+
+TEST(TapeGraph, ElementwiseChainFusesIntoOneTask) {
+  const TapeEnv env(Executor::kGraph, 1);
+  Tensor a = make_input({256}, 14);
+  // add -> relu -> mul(scalar): a pure elementwise chain with sole
+  // consumers; the planner must merge it rather than schedule 1-node tasks.
+  sum(ops::mul_scalar(relu(add(a, a)), 0.5f)).backward();
+  const auto& plan = Tape::current().last_plan();
+  EXPECT_GT(plan.fused_nodes, 0) << "no elementwise pair was fused";
+  EXPECT_LT(plan.tasks, plan.nodes);
+}
+
+TEST(TapeGraph, IndependentBranchesShareALevel) {
+  const TapeEnv env(Executor::kGraph, 4);
+  std::vector<Tensor> ws, xs;
+  for (int i = 0; i < 4; ++i) {
+    ws.push_back(make_input({4096}, 20 + i, 0.5f));
+    // Non-grad inputs: shared by nothing, written by nothing.
+    Rng rng(static_cast<std::uint64_t>(40 + i));
+    xs.push_back(Tensor::randn({4096}, rng, 0.5f));
+  }
+  wide_branch_loss(ws, xs).backward();
+  const auto& plan = Tape::current().last_plan();
+  EXPECT_GT(plan.parallel_levels, 0)
+      << "no level fanned out across the pool (tasks=" << plan.tasks
+      << ", levels=" << plan.levels << ")";
+  EXPECT_GE(plan.parallel_tasks, 4);
+}
+
+// ---- bookkeeping: zero-alloc steady state -------------------------------
+
+TEST(TapeGraph, PlanBookkeepingStopsAllocatingAfterWarmup) {
+  const TapeEnv env(Executor::kGraph, 4);
+  std::vector<Tensor> ws, xs;
+  for (int i = 0; i < 4; ++i) {
+    ws.push_back(make_input({1024}, 60 + i, 0.5f));
+    Rng rng(static_cast<std::uint64_t>(80 + i));
+    xs.push_back(Tensor::randn({1024}, rng, 0.5f));
+  }
+  wide_branch_loss(ws, xs).backward();  // warm-up sizes every plan vector
+  const std::int64_t after_warmup = Tape::current().plan_grow_events();
+  for (int step = 0; step < 5; ++step) {
+    for (auto& w : ws) w.zero_grad();
+    wide_branch_loss(ws, xs).backward();
+  }
+  EXPECT_EQ(Tape::current().plan_grow_events(), after_warmup)
+      << "backward() bookkeeping grew a plan vector in the steady state";
+}
+
+// ---- arena: recycling, pinning, trimming --------------------------------
+
+TEST(TapeArenaTest, SteadyStateReusesEntriesAndTrimsAfterShrink) {
+  if (!StoragePool::instance().enabled())
+    GTEST_SKIP() << "pool disabled (MFA_POOL=off): arena is bypassed";
+  const TapeEnv env(Executor::kGraph, 1);
+  auto& arena = Tape::current().arena();
+  arena.clear();
+  std::vector<Tensor> ws, xs;
+  for (int i = 0; i < 2; ++i) {
+    ws.push_back(make_input({2048}, 90 + i, 0.5f));
+    Rng rng(static_cast<std::uint64_t>(95 + i));
+    xs.push_back(Tensor::randn({2048}, rng, 0.5f));
+  }
+  wide_branch_loss(ws, xs).backward();
+  const std::int64_t entries_after_one = arena.entries();
+  const std::int64_t floats_after_one = arena.held_floats();
+  EXPECT_GT(entries_after_one, 0);
+  // Steady state: identical steps must not grow the arena at all.
+  for (int step = 0; step < 6; ++step) {
+    for (auto& w : ws) w.zero_grad();
+    wide_branch_loss(ws, xs).backward();
+  }
+  EXPECT_EQ(arena.entries(), entries_after_one);
+  EXPECT_EQ(arena.held_floats(), floats_after_one);
+  // Shrink the workload: after two small steps (high-water window), the big
+  // entries must have been given back.
+  Tensor small_w = make_input({64}, 97);
+  Rng rng(98);
+  Tensor small_x = Tensor::randn({64}, rng, 0.5f);
+  for (int step = 0; step < 3; ++step) {
+    small_w.zero_grad();
+    sum(relu(mul(small_w, small_x))).backward();
+  }
+  EXPECT_LT(arena.held_floats(), floats_after_one);
+  arena.clear();
+}
+
+TEST(TapeArenaTest, EscapedIntermediatePinsItsBufferAcrossRetire) {
+  if (!StoragePool::instance().enabled())
+    GTEST_SKIP() << "pool disabled (MFA_POOL=off): arena is bypassed";
+  const TapeEnv env(Executor::kGraph, 1);
+  Tensor a = make_input({512}, 30, 0.5f);
+  Tensor y = mul(a, a);  // intermediate drawn from the arena
+  sum(y).backward();     // retires the tape; y's handle must pin its entry
+  const std::vector<float> snapshot = y.to_vector();
+  // Run more steps over the same bucket size: the pinned entry must never be
+  // handed out while y lives.
+  for (int step = 0; step < 4; ++step) {
+    a.zero_grad();
+    sum(relu(mul(a, a))).backward();
+  }
+  EXPECT_EQ(y.to_vector(), snapshot);
+  // Once y drops, its entry is reusable (or trimmable) again.
+  y = Tensor();
+  for (int step = 0; step < 3; ++step) {
+    a.zero_grad();
+    sum(relu(mul(a, a))).backward();
+  }
+}
+
+TEST(TapeArenaTest, TrainStepBitIdenticalArenaOnVsOff) {
+  const auto run = [](bool arena) -> std::vector<float> {
+    const TapeEnv env(Executor::kGraph, 4, /*fusion=*/true, arena);
+    Rng rng(77);
+    Tensor w = Tensor::randn({2048}, rng, 0.5f, true);
+    Tensor x = Tensor::randn({2048}, rng, 0.5f);
+    std::vector<Tensor> params = {w};
+    nn::Sgd opt(params, 0.1f);
+    for (int step = 0; step < 4; ++step) {
+      opt.zero_grad();
+      sum(relu(mul(w, x))).backward();
+      opt.step();
+    }
+    return w.to_vector();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// ---- diagnostics force the sequential walk ------------------------------
+
+TEST(TapeSanitize, RaceReportIsByteIdenticalAcrossExecModes) {
+  if (!sanitize::compiled_in())
+    GTEST_SKIP() << "storage sanitizer compiled out (NDEBUG build)";
+  // A backward closure with the classic forgotten-offset bug: every chunk
+  // declares [0, end). With race tracking armed, the executor must pin the
+  // sequential walk in BOTH exec modes, so the report (op name, tape node,
+  // chunk ids) is byte-identical — never a worker-task schedule accident.
+  const bool pool_prev = StoragePool::instance().enabled();
+  const bool san_prev = sanitize::enabled();
+  StoragePool::instance().set_enabled(true);
+  sanitize::set_enabled(true);
+  sanitize::set_throw_on_violation(true);
+  sanitize::reset_counts();
+  // One tensor shared by both runs: the report names the faulting buffer by
+  // address, and `a`'s grad storage persists across backward calls, so the
+  // two reports can only match if the executor pins one canonical schedule.
+  Tensor a = make_input({1 << 20}, 55);
+  const auto buggy_loss = [](const Tensor& in) {
+    Tensor y = Tensor::make_result(
+        in.shape(), {in}, [in](detail::TensorImpl& o) {
+          auto ai = in.impl();
+          ai->ensure_grad();
+          float* ga = ai->grad.data();
+          const auto n = static_cast<std::int64_t>(o.data.size());
+          parallel_for(n, [&](std::int64_t, std::int64_t i1) {
+            sanitize::note_parallel_write(ga, 0, i1);  // forgotten offset
+          });
+        });
+    return sum(y);
+  };
+  std::string reports[2];
+  const Executor modes[2] = {Executor::kSeq, Executor::kGraph};
+  for (int i = 0; i < 2; ++i) {
+    const TapeEnv env(modes[i], 4);
+    a.zero_grad();
+    try {
+      buggy_loss(a).backward();
+      ADD_FAILURE() << "expected a race violation, none was thrown";
+    } catch (const check::CheckError& e) {
+      reports[i] = e.what();
+    }
+  }
+  EXPECT_FALSE(reports[0].empty());
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_NE(reports[0].find("sanitize[race]"), std::string::npos)
+      << reports[0];
+  sanitize::reset_counts();
+  sanitize::set_enabled(san_prev);
+  StoragePool::instance().set_enabled(pool_prev);
+}
+
+TEST(TapeSanitize, ParallelBackwardRunsCleanWithSanitizerArmed) {
+  if (!sanitize::compiled_in())
+    GTEST_SKIP() << "storage sanitizer compiled out (NDEBUG build)";
+  // TSan-facing stress: redzone/lifetime/refcount checks stay armed while
+  // race tracking is OFF, so the graph executor genuinely fans backward
+  // tasks across 4 workers with the checker watching the pooled buffers.
+  const bool pool_prev = StoragePool::instance().enabled();
+  const bool san_prev = sanitize::enabled();
+  StoragePool::instance().set_enabled(true);
+  sanitize::set_enabled(true);
+  sanitize::set_race_tracking(false);
+  sanitize::set_throw_on_violation(true);
+  sanitize::reset_counts();
+  {
+    const TapeEnv env(Executor::kGraph, 4);
+    std::vector<Tensor> ws, xs;
+    for (int i = 0; i < 4; ++i) {
+      ws.push_back(make_input({8192}, 70 + i, 0.5f));
+      Rng rng(static_cast<std::uint64_t>(75 + i));
+      xs.push_back(Tensor::randn({8192}, rng, 0.5f));
+    }
+    std::int64_t parallel_tasks = 0;
+    for (int step = 0; step < 8; ++step) {
+      for (auto& w : ws) w.zero_grad();
+      wide_branch_loss(ws, xs).backward();
+      parallel_tasks += Tape::current().last_plan().parallel_tasks;
+    }
+    EXPECT_GT(parallel_tasks, 0)
+        << "stress never exercised a parallel level";
+    Tape::current().arena().verify_guards();
+  }
+  const auto counts = sanitize::counts();
+  EXPECT_EQ(counts.total(), 0)
+      << "sanitizer violations during parallel backward";
+  EXPECT_GT(counts.redzone_checks, 0)
+      << "checker never actually verified a redzone";
+  sanitize::set_race_tracking(true);
+  sanitize::set_enabled(san_prev);
+  StoragePool::instance().set_enabled(pool_prev);
+}
+
+// ---- retire semantics ---------------------------------------------------
+
+TEST(TapeRetire, RetiredGraphSurvivorActsAsLeaf) {
+  const TapeEnv env(Executor::kGraph, 4);
+  Tensor a = make_input({8}, 88);
+  Tensor y = mul(a, a);
+  sum(y).backward();
+  EXPECT_EQ(Tape::current().recorded_nodes(), 0) << "tape not retired";
+  // A survivor of the retired graph acts as a leaf in the next graph:
+  // gradient flow stops at it instead of re-running retired closures.
+  a.zero_grad();
+  Tensor z = sum(mul(y, y));
+  z.backward();
+  const auto ga = a.grad().to_vector();
+  for (const float g : ga) EXPECT_EQ(g, 0.0f);
+  const auto gy = y.grad().to_vector();
+  EXPECT_EQ(gy.size(), static_cast<size_t>(y.numel()));
+}
+
+TEST(TapeRetire, BackwardFromLeafLeavesRecordedGraphLive) {
+  const TapeEnv env(Executor::kGraph, 1);
+  Tensor a = make_input({16}, 89);
+  Tensor loss = sum(mul(a, a));
+  // A detached scalar backward must not retire the recorded graph.
+  Tensor detached = Tensor::scalar(3.0f, true);
+  detached.backward();
+  EXPECT_GT(Tape::current().recorded_nodes(), 0);
+  a.zero_grad();
+  loss.backward();  // the real graph still executes fully
+  const auto ga = a.grad().to_vector();
+  const auto av = a.to_vector();
+  for (size_t i = 0; i < ga.size(); ++i)
+    EXPECT_NEAR(ga[i], 2.0f * av[i], 1e-4f);
+}
+
+}  // namespace
+}  // namespace mfa
