@@ -53,7 +53,7 @@ int main() {
               static_cast<long long>(config.grid));
 
   std::printf("\nParameter counts (Table I model set):\n");
-  for (const char* name : {"unet", "pgnn", "pros2", "ours"}) {
+  for (const char* name : {"unet", "pgnn", "pros2", "lhnn", "ours"}) {
     auto model = models::make_model(name, config);
     std::printf("  %-6s %8lld parameters\n", name,
                 static_cast<long long>(model->network().num_parameters()));

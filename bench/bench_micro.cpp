@@ -216,6 +216,73 @@ void BM_PredictLevels(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictLevels);
 
+/// Sparse scatter throughput: duplicate-heavy index over range(0) source
+/// rows into range(0)/4 output rows, 16 floats per row — the LHNN
+/// net->lattice message shape. Covers the fixed slot-partitioned
+/// accumulation (forward) and the gather backward.
+void BM_ScatterAdd(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  const std::int64_t rows = std::max<std::int64_t>(1, m / 4);
+  Rng rng(11);
+  Tensor src = Tensor::randn({m, 16}, rng, 0.5f, /*requires_grad=*/true);
+  std::vector<float> ids(static_cast<std::size_t>(m));
+  for (auto& id : ids)
+    id = static_cast<float>(rng.uniform_int(0, rows - 1));
+  const Tensor index = Tensor::from_data({m}, std::move(ids));
+  const auto step = [&] {
+    src.zero_grad();
+    Tensor out = ops::scatter_add_rows(src, index, rows);
+    ops::sum(ops::mul(out, out)).backward();
+    benchmark::DoNotOptimize(src.grad().data());
+  };
+  step();  // warm-up: free lists, plan vectors, slot accumulators
+  PoolCounterScope counters(state);
+  for (auto _ : state) step();
+}
+BENCHMARK(BM_ScatterAdd)->Arg(1 << 12)->Arg(1 << 16);
+
+/// Segment-sum throughput on the same index distribution (forward-only, the
+/// inference-side shape of the net aggregation).
+void BM_SegmentSum(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  const std::int64_t segments = std::max<std::int64_t>(1, m / 4);
+  Rng rng(12);
+  Tensor src = Tensor::randn({m, 16}, rng, 0.5f);
+  std::vector<float> ids(static_cast<std::size_t>(m));
+  for (auto& id : ids)
+    id = static_cast<float>(rng.uniform_int(0, segments - 1));
+  const Tensor index = Tensor::from_data({m}, std::move(ids));
+  NoGradGuard guard;
+  const auto step = [&] {
+    Tensor out = ops::segment_sum(src, index, segments);
+    benchmark::DoNotOptimize(out.data());
+  };
+  step();  // warm-up
+  PoolCounterScope counters(state);
+  for (auto _ : state) step();
+}
+BENCHMARK(BM_SegmentSum)->Arg(1 << 12)->Arg(1 << 16);
+
+/// LHNN inference: the hypergraph message-passing path (gather/segment/
+/// scatter) fused with the conv lattice path, same serving shape as
+/// BM_PredictLevels for a direct model-zoo comparison.
+void BM_LhnnPredict(benchmark::State& state) {
+  Rng rng(13);
+  models::ModelConfig config;
+  config.grid = 32;
+  config.transformer_layers = 1;
+  auto model = models::make_model("lhnn", config);
+  Tensor x = Tensor::uniform({1, 6, 32, 32}, rng, 0.0f, 1.0f);
+  const auto predict = [&] {
+    Tensor levels = model->predict_levels(x);
+    benchmark::DoNotOptimize(levels.data());
+  };
+  predict();  // warm-up
+  PoolCounterScope counters(state);
+  for (auto _ : state) predict();
+}
+BENCHMARK(BM_LhnnPredict);
+
 void BM_Matmul(benchmark::State& state) {
   const auto n = state.range(0);
   Rng rng(3);

@@ -96,7 +96,7 @@ int main() {
 
   // ---- train each model on the pooled set, evaluate per design ----
   const std::vector<std::string> model_names = {"unet", "pgnn", "pros2",
-                                                "ours"};
+                                                "lhnn", "ours"};
   std::map<std::string, std::map<std::string, Row>> results;
   std::map<std::string, Row> averages;
   std::map<std::string, Row> pooled_rows;

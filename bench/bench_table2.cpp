@@ -12,7 +12,9 @@
 //
 // Knobs: MFA_T2_DESIGNS (10), MFA_T2_TRAIN_PLACEMENTS (3),
 // MFA_T2_TRAIN_DESIGNS (5), MFA_T2_EPOCHS (40), MFA_T2_SEEDS (2 placer
-// seeds averaged per design/strategy), MFA_GRID (64), MFA_SEED (1).
+// seeds averaged per design/strategy), MFA_GRID (64), MFA_SEED (1),
+// MFA_T2_MODEL ("ours": any make_model name, e.g. "lhnn", drives the
+// Ours-strategy flow with that predictor instead).
 #include <cstdio>
 #include <map>
 #include <string>
@@ -64,13 +66,14 @@ int main() {
   config.base_channels = bench::env_int("MFA_CHANNELS", 8);
   config.transformer_layers = bench::env_int("MFA_VIT_LAYERS", 2);
   config.seed = seed + 7;
-  auto model = models::make_model("ours", config);
+  const std::string model_name = bench::env_str("MFA_T2_MODEL", "ours");
+  auto model = models::make_model(model_name, config);
   train::TrainOptions topt;
   topt.epochs = bench::env_int("MFA_T2_EPOCHS", 40);
   topt.batch_size = 4;
   topt.seed = seed + 13;
-  std::fprintf(stderr, "[table2] training predictor on %zu samples...\n",
-               pooled.size());
+  std::fprintf(stderr, "[table2] training %s predictor on %zu samples...\n",
+               model_name.c_str(), pooled.size());
   const double loss = train::Trainer::fit(*model, pooled, topt);
   std::fprintf(stderr, "[table2] trained (final loss %.3f)\n", loss);
 

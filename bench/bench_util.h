@@ -21,6 +21,12 @@ inline double env_double(const char* name, double fallback) {
   return v ? std::atof(v) : fallback;
 }
 
+/// String knob: MFA_<NAME> environment variable with a default.
+inline std::string env_str(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return v ? v : fallback;
+}
+
 /// The default experiment device (see DESIGN.md scale note): an XCVU3P-like
 /// columnar fabric at CPU-tractable scale.
 inline fpga::DeviceGrid experiment_device() {

@@ -1,4 +1,4 @@
-// Compares all four Table I models (U-Net, PGNN, PROS 2.0, ours) on one
+// Compares the Table I model zoo (U-Net, PGNN, PROS 2.0, LHNN, ours) on one
 // design with a small training budget — a miniature of bench_table1.
 //
 // Usage: compare_models [design_name] [epochs]
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
 
   std::printf("%-8s %10s %8s %8s %8s\n", "model", "params", "ACC", "R2",
               "NRMS");
-  for (const char* name : {"unet", "pgnn", "pros2", "ours"}) {
+  for (const char* name : {"unet", "pgnn", "pros2", "lhnn", "ours"}) {
     models::ModelConfig config;
     auto model = models::make_model(name, config);
     train::TrainOptions topt;

@@ -14,7 +14,8 @@
 # check below is host-independent and always enforced under --check.
 #
 # Allocation check: the pool-counter benchmarks (Conv2dTrainStep,
-# PredictLevels) are re-run with MFA_POOL=off and the steady-state
+# PredictLevels, ScatterAdd, SegmentSum, LhnnPredict) are re-run with
+# MFA_POOL=off and the steady-state
 # heap_allocs_per_iter counters are compared; with the pool on they must be
 # at most 10% of the pool-off count (>= 90% fewer heap allocations).
 #
@@ -280,7 +281,7 @@ fi
 # Second pass, pool disabled, counter benchmarks only: captures the heap
 # allocation count the pool is supposed to eliminate.
 ALLOC_ARGS=(--benchmark_out="${RAW_OFF}" --benchmark_out_format=json
-            --benchmark_filter='Conv2dTrainStep|PredictLevels')
+            --benchmark_filter='Conv2dTrainStep|PredictLevels|ScatterAdd|SegmentSum|LhnnPredict')
 if [ "${SMOKE}" = 1 ]; then
   ALLOC_ARGS+=(--benchmark_repetitions=1 --benchmark_min_time=0.01)
 fi

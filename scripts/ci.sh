@@ -89,6 +89,16 @@ MFA_EXEC=seq \
 ctest --test-dir build-ci/release --output-on-failure "${JOBS}" \
   --output-junit ctest-junit-seq.xml
 report_slowest build-ci/release/ctest-junit-seq.xml "release, MFA_EXEC=seq"
+# Fourth release pass with the graph executor pinned explicitly, over the
+# `sparse` label: the sparse gather/scatter family, the multi-root backward
+# suite, and the LHNN golden hash re-run with MFA_EXEC=graph forced via the
+# environment (not just the testing hooks), proving the env plumbing reaches
+# the slot-partitioned scatter accumulation and the union-plan scheduler.
+echo "=== [release, MFA_EXEC=graph, sparse] test ==="
+MFA_EXEC=graph \
+ctest --test-dir build-ci/release --output-on-failure "${JOBS}" -L sparse \
+  --output-junit ctest-junit-graph-sparse.xml
+report_slowest build-ci/release/ctest-junit-graph-sparse.xml "release, MFA_EXEC=graph, sparse"
 run_config asan    Debug          address
 # Second ASan pass with the storage pool bypassed: recycling hides
 # use-after-free from the poisoning/quarantine machinery (a stale pointer

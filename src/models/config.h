@@ -24,6 +24,19 @@ struct ModelConfig {
   /// 1/16 reduction (the paper's C=64 keeps >=4; small configs can choose).
   std::int64_t mfa_reduction_floor = 1;
   std::int64_t transformer_heads = 4;
+  // ---- LHNN lattice-hypergraph predictor ("lhnn") ----
+  /// Side of the square overlapping lattice windows that act as synthetic
+  /// nets (hyperedges) of the grid hypergraph.
+  std::int64_t lhnn_window = 4;
+  /// Stride between window origins (< window -> overlapping nets).
+  std::int64_t lhnn_stride = 2;
+  /// Message-passing rounds (cell -> net -> cell).
+  std::int64_t lhnn_layers = 2;
+  /// Hidden width of the per-net MLP (0 = base_channels).
+  std::int64_t lhnn_net_channels = 0;
+  /// Auxiliary net-level RUDY-regression head; trained jointly with the
+  /// main loss through Tensor::backward_multi.
+  bool lhnn_aux_head = true;
   /// Token dimension C_t of the transformer embedding (0 = use 8C).
   std::int64_t transformer_dim = 0;
   std::uint64_t seed = 1;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/trace.h"
+#include "models/lhnn.h"
 #include "models/mfa_net.h"
 #include "models/pgnn.h"
 #include "models/pros2.h"
@@ -46,6 +47,7 @@ std::unique_ptr<CongestionModel> make_model(const std::string& name,
   if (name == "unet") return std::make_unique<UNetModel>(config);
   if (name == "pgnn") return std::make_unique<PgnnModel>(config);
   if (name == "pros2") return std::make_unique<Pros2Model>(config);
+  if (name == "lhnn") return std::make_unique<LhnnModel>(config);
   throw std::invalid_argument("make_model: unknown model '" + name + "'");
 }
 

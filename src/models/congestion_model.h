@@ -18,6 +18,14 @@ class CongestionModel {
   /// features [N, 6, H, W] -> per-class logits [N, num_classes, H, W].
   virtual Tensor forward(const Tensor& features) = 0;
 
+  /// Auxiliary training loss produced by the last forward(), if any (LHNN's
+  /// net-level head). Move-out semantics: returns the stored scalar and
+  /// clears it, so the caller owns the only reference and the tape arena is
+  /// not pinned across steps. Default: none (undefined tensor). The trainer
+  /// runs Tensor::backward_multi({loss, aux}) when this returns a defined
+  /// tensor.
+  virtual Tensor take_auxiliary_loss() { return Tensor(); }
+
   const ModelConfig& config() const { return config_; }
 
   /// Inference: argmax class per tile as a float level map [N, H, W].
@@ -29,7 +37,8 @@ class CongestionModel {
   ModelConfig config_;
 };
 
-/// Factory for the Table I model set: "ours", "unet", "pgnn", "pros2".
+/// Factory for the Table I model set: "ours", "unet", "pgnn", "pros2",
+/// "lhnn".
 std::unique_ptr<CongestionModel> make_model(const std::string& name,
                                             const ModelConfig& config);
 

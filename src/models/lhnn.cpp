@@ -1,0 +1,131 @@
+#include "models/lhnn.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "features/features.h"
+
+namespace mfa::models {
+
+using namespace mfa::ops;
+
+LhnnModel::LhnnModel(ModelConfig config) : CongestionModel(config) {
+  Rng rng(config.seed);
+  const std::int64_t G = config.grid;
+  const std::int64_t win = config.lhnn_window;
+  const std::int64_t stride = config.lhnn_stride;
+  MFA_CHECK(win > 0 && win <= G)
+      << " lhnn: window " << win << " on grid " << G;
+  MFA_CHECK_GT(stride, 0) << " lhnn: stride";
+  MFA_CHECK_GT(config.lhnn_layers, 0) << " lhnn: layers";
+  const std::int64_t C = config.base_channels;
+  const std::int64_t Cn =
+      config.lhnn_net_channels > 0 ? config.lhnn_net_channels : C;
+
+  // Synthetic net hypergraph: one net per window position, pins = covered
+  // cells. Built row-major over window positions, then over window cells,
+  // so the incidence (and with it every pinned hash) is a pure function of
+  // (grid, window, stride).
+  const std::int64_t nwin = (G - win) / stride + 1;
+  num_nets_ = nwin * nwin;
+  const std::int64_t pins = num_nets_ * win * win;
+  std::vector<float> pin_cell(static_cast<std::size_t>(pins));
+  std::vector<float> pin_net(static_cast<std::size_t>(pins));
+  std::vector<float> degree(static_cast<std::size_t>(G * G), 0.0f);
+  std::int64_t p = 0;
+  for (std::int64_t wh = 0; wh < nwin; ++wh)
+    for (std::int64_t ww = 0; ww < nwin; ++ww) {
+      const std::int64_t net = wh * nwin + ww;
+      for (std::int64_t i = 0; i < win; ++i)
+        for (std::int64_t j = 0; j < win; ++j) {
+          const std::int64_t cell = (wh * stride + i) * G + (ww * stride + j);
+          pin_cell[static_cast<std::size_t>(p)] = static_cast<float>(cell);
+          pin_net[static_cast<std::size_t>(p)] = static_cast<float>(net);
+          degree[static_cast<std::size_t>(cell)] += 1.0f;
+          ++p;
+        }
+    }
+  std::vector<float> inv_deg(degree.size());
+  for (std::size_t i = 0; i < degree.size(); ++i)
+    inv_deg[i] = degree[i] > 0.0f ? 1.0f / degree[i] : 0.0f;
+  pin_cell_ = Tensor::from_data({pins}, std::move(pin_cell));
+  pin_net_ = Tensor::from_data({pins}, std::move(pin_net));
+  inv_deg_ = Tensor::from_data({G * G, 1}, std::move(inv_deg));
+  rudy_col_ = Tensor::from_data(
+      {1}, {static_cast<float>(features::kRudy)});
+
+  embed_ = register_module(
+      "embed", std::make_shared<ConvBnRelu>(config.in_channels, C, rng));
+  lattice_ = register_module("lattice", std::make_shared<ConvBnRelu>(C, C, rng));
+  for (std::int64_t l = 0; l < config.lhnn_layers; ++l) {
+    net_in_.push_back(register_module("net_in" + std::to_string(l),
+                                      std::make_shared<nn::Linear>(C, Cn, rng)));
+    net_out_.push_back(register_module(
+        "net_out" + std::to_string(l), std::make_shared<nn::Linear>(Cn, C, rng)));
+  }
+  fuse_ = register_module("fuse", std::make_shared<ConvBnRelu>(2 * C, C, rng));
+  head_ = register_module(
+      "head",
+      std::make_shared<nn::Conv2d>(C, config.num_classes, 1, rng, 1, 0));
+  if (config.lhnn_aux_head)
+    aux_head_ = register_module("aux_head",
+                                std::make_shared<nn::Linear>(C, 1, rng));
+}
+
+Tensor LhnnModel::forward(const Tensor& features) {
+  MFA_CHECK(features.dim() == 4 && features.size(1) == config_.in_channels)
+      << " lhnn: features " << shape_str(features.shape());
+  const std::int64_t N = features.size(0);
+  const std::int64_t H = features.size(2);
+  const std::int64_t W = features.size(3);
+  MFA_CHECK(H == config_.grid && W == config_.grid)
+      << " lhnn: grid mismatch, features " << shape_str(features.shape())
+      << " vs configured grid " << config_.grid;
+  const std::int64_t HW = H * W;
+  const std::int64_t C = config_.base_channels;
+  const bool want_aux =
+      aux_head_ && is_training() && GradMode::enabled();
+
+  Tensor emb = embed_->forward(features);  // [N, C, H, W]
+  std::vector<Tensor> fused_samples;
+  fused_samples.reserve(static_cast<std::size_t>(N));
+  Tensor aux_sum;
+  for (std::int64_t n = 0; n < N; ++n) {
+    Tensor xs = narrow(emb, 0, n, 1);                          // [1,C,H,W]
+    Tensor cells = transpose2d(reshape(xs, {C, HW}));          // [HW, C]
+    Tensor net;
+    for (std::size_t l = 0; l < net_in_.size(); ++l) {
+      Tensor pin = gather_rows(cells, pin_cell_);              // [P, C]
+      net = segment_mean(pin, pin_net_, num_nets_);            // [S, C]
+      net = net_out_[l]->forward(relu(net_in_[l]->forward(net)));
+      Tensor msg = segment_sum(gather_rows(net, pin_net_),     // net -> cell
+                               pin_cell_, HW);                 // [HW, C]
+      cells = relu(add(cells, mul(msg, inv_deg_)));            // mean + res
+    }
+    if (want_aux) {
+      // Net-level RUDY regression: target = mean input RUDY over each
+      // net's pins, a constant derived from the (non-grad) features.
+      Tensor feat_cells = transpose2d(
+          reshape(narrow(features, 0, n, 1), {config_.in_channels, HW}));
+      Tensor rudy = index_select(feat_cells, 1, rudy_col_);    // [HW, 1]
+      Tensor target =
+          segment_mean(gather_rows(rudy, pin_cell_), pin_net_, num_nets_);
+      Tensor pred = aux_head_->forward(net);                   // [S, 1]
+      Tensor aux = mse_loss(pred, target.detach());
+      aux_sum = aux_sum.defined() ? add(aux_sum, aux) : aux;
+    }
+    Tensor hyper = reshape(transpose2d(cells), {1, C, H, W});
+    fused_samples.push_back(concat({lattice_->forward(xs), hyper}, 1));
+  }
+  if (want_aux && aux_sum.defined())
+    aux_loss_ = mul_scalar(aux_sum, 1.0f / static_cast<float>(N));
+  Tensor fused = fused_samples.size() == 1 ? fused_samples.front()
+                                           : concat(fused_samples, 0);
+  return head_->forward(fuse_->forward(fused));
+}
+
+Tensor LhnnModel::take_auxiliary_loss() {
+  return std::exchange(aux_loss_, Tensor());
+}
+
+}  // namespace mfa::models

@@ -1,0 +1,66 @@
+// Baseline: LHNN [Wang et al., DAC'22] — lattice hypergraph neural network
+// for congestion prediction.
+//
+// The original couples two node sets: lattice nodes (grid cells) and net
+// nodes (hyperedges over the cells each net touches), alternating
+// cell->net and net->cell message passing, with a lattice CNN branch fused
+// before the prediction head. At this library's scale — and matching the
+// PGNN proxy's precedent of deriving graph structure from the grid — real
+// netlist hyperedges are replaced by a fixed synthetic hypergraph: every
+// `lhnn_window`-sized square window (stride `lhnn_stride`, overlapping)
+// is one net whose pins are the cells it covers. The incidence is stored
+// once as two pin index tensors (pin->cell, pin->net) and the rounds run
+// on the sparse tensor ops:
+//
+//   pin   = gather_rows(cells, pin_cell)            cell -> pin
+//   net   = segment_mean(pin, pin_net, S)           pin  -> net (mean)
+//   net   = MLP(net)                                net transform
+//   msg   = segment_sum(gather_rows(net, pin_net),  net  -> cell (mean via
+//                       pin_cell, HW) * inv_degree                1/degree)
+//   cells = relu(cells + msg)                       residual update
+//
+// The hypergraph branch is concatenated with a lattice conv branch and a
+// conv head produces the per-class logits, so the model drops into the
+// Table I/II harness, `flow`, and `mfa_serve` unchanged.
+//
+// Training-only auxiliary head (LHNN's dual-branch supervision, adapted):
+// a linear head on the final net embeddings regresses each net's mean RUDY
+// (computed from the input features, detached), giving the hypergraph
+// branch a net-level training signal. The trainer backpropagates main and
+// auxiliary losses in one pass via Tensor::backward_multi.
+#pragma once
+
+#include <vector>
+
+#include "models/blocks.h"
+#include "models/congestion_model.h"
+
+namespace mfa::models {
+
+class LhnnModel final : public CongestionModel, public nn::Module {
+ public:
+  explicit LhnnModel(ModelConfig config);
+  const char* name() const override { return "lhnn"; }
+  nn::Module& network() override { return *this; }
+  Tensor forward(const Tensor& features) override;
+  Tensor take_auxiliary_loss() override;
+
+  /// Synthetic hypergraph shape (for tests): nets and pins.
+  std::int64_t num_nets() const { return num_nets_; }
+  std::int64_t num_pins() const { return pin_cell_.numel(); }
+
+ private:
+  std::shared_ptr<ConvBnRelu> embed_, lattice_, fuse_;
+  std::shared_ptr<nn::Conv2d> head_;
+  std::vector<std::shared_ptr<nn::Linear>> net_in_, net_out_;
+  std::shared_ptr<nn::Linear> aux_head_;
+  // Fixed incidence of the synthetic hypergraph (leaf index tensors).
+  Tensor pin_cell_;  // [P] pin -> lattice cell id in [0, H*W)
+  Tensor pin_net_;   // [P] pin -> net id in [0, num_nets_)
+  Tensor inv_deg_;   // [H*W, 1] 1/(nets covering cell), 0 when uncovered
+  Tensor rudy_col_;  // [1] index of the RUDY channel (index_select)
+  Tensor aux_loss_;  // scalar set by forward() in training mode
+  std::int64_t num_nets_ = 0;
+};
+
+}  // namespace mfa::models

@@ -65,6 +65,38 @@ Tensor max_dim(const Tensor& a, std::int64_t dim, bool keepdim = false);
 /// Index of the maximum along `dim` (not differentiable).
 std::vector<std::int64_t> argmax_dim(const Tensor& a, std::int64_t dim);
 
+// ---- sparse / hypergraph (index tensors hold integral ids as floats) ----
+//
+// Determinism contract: the scatter-style reductions (gather_rows backward,
+// scatter_add_rows / segment_sum / segment_mean forward) accumulate through
+// a fixed number of contiguous index slots with a sequential slot-order
+// reduce after the join — like conv2d's dW reduction — so results are
+// bit-identical across MFA_THREADS x MFA_POOL x MFA_EXEC. Index values are
+// validated once per op call with always-on MFA_CHECKs during the
+// float->int decode pass; the inner kernels then run unchecked (the Release
+// fast path — see DESIGN.md, "Sparse ops and hypergraph models").
+
+/// Row gather: x [R, ...], index [M] with ids in [0, R) -> out [M, ...]
+/// where out[m] = x[index[m]]. Duplicate and out-of-order ids are fine.
+Tensor gather_rows(const Tensor& x, const Tensor& index);
+/// Row scatter-add: src [M, ...], index [M] with ids in [0, num_rows) ->
+/// out [num_rows, ...] with out[index[m]] += src[m] (deterministic order).
+/// Rows never referenced by `index` are zero.
+Tensor scatter_add_rows(const Tensor& src, const Tensor& index,
+                        std::int64_t num_rows);
+/// Segment sum: src [M, ...], segment_ids [M] in [0, num_segments) ->
+/// out [num_segments, ...]. Ids need not be sorted or contiguous.
+Tensor segment_sum(const Tensor& src, const Tensor& segment_ids,
+                   std::int64_t num_segments);
+/// Segment mean: like segment_sum divided by the segment sizes; empty
+/// segments stay zero.
+Tensor segment_mean(const Tensor& src, const Tensor& segment_ids,
+                    std::int64_t num_segments);
+/// General gather along `dim` (supports negative dim): out shape equals
+/// x.shape() with shape[dim] = index.numel(). index_select(x, 0, i) is
+/// gather_rows(x, i).
+Tensor index_select(const Tensor& x, std::int64_t dim, const Tensor& index);
+
 // ---- normalising / losses ----
 Tensor softmax(const Tensor& a, std::int64_t dim);
 Tensor log_softmax(const Tensor& a, std::int64_t dim);

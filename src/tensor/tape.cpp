@@ -255,7 +255,7 @@ void Tape::end_arena_scope() {
 // ---------------------------------------------------------------------------
 // Tape — planning
 
-void Tape::plan_order(std::int32_t root_id) {
+void Tape::plan_order(const std::int32_t* roots, std::size_t num_roots) {
   const std::size_t node_count = nodes_.size();
   plan_grow(visit_, node_count);
   if (++visit_token_ == 0) {
@@ -269,31 +269,41 @@ void Tape::plan_order(std::int32_t root_id) {
   // preserves its gradient accumulation order bit for bit. Leaves carry no
   // closure and are skipped; their relative position never influenced the
   // order of real nodes (each was a size-1 subtree).
+  //
+  // Multi-root backward restarts the DFS per root over the same visited set
+  // and reverses the concatenated post-orders. That is a topological order
+  // of the union DAG: for any consumer->parent edge the parent finishes
+  // first (a parent still on the stack would imply a cycle), so it lands
+  // earlier in post-order and later in execution order, exactly as needed.
   std::size_t sp = 0;
   std::size_t produced = 0;
-  visit_[static_cast<std::size_t>(root_id)] = visit_token_;
-  stack_[sp++] = DfsFrame{root_id, 0};
-  while (sp > 0) {
-    DfsFrame& f = stack_[sp - 1];
-    const Node& n = nodes_[static_cast<std::size_t>(f.node)];
-    const std::uint32_t parent_count = n.parent_end - n.parent_begin;
-    bool descended = false;
-    while (f.next < parent_count) {
-      const ParentRef& pr = parents_[n.parent_begin + f.next];
-      ++f.next;
-      const std::int32_t pn = pr.node;
-      if (pn < 0 || visit_[static_cast<std::size_t>(pn)] == visit_token_)
-        continue;
-      visit_[static_cast<std::size_t>(pn)] = visit_token_;
-      stack_[sp++] = DfsFrame{pn, 0};
-      descended = true;
-      break;
+  for (std::size_t r = 0; r < num_roots; ++r) {
+    const std::int32_t root_id = roots[r];
+    if (visit_[static_cast<std::size_t>(root_id)] == visit_token_) continue;
+    visit_[static_cast<std::size_t>(root_id)] = visit_token_;
+    stack_[sp++] = DfsFrame{root_id, 0};
+    while (sp > 0) {
+      DfsFrame& f = stack_[sp - 1];
+      const Node& n = nodes_[static_cast<std::size_t>(f.node)];
+      const std::uint32_t parent_count = n.parent_end - n.parent_begin;
+      bool descended = false;
+      while (f.next < parent_count) {
+        const ParentRef& pr = parents_[n.parent_begin + f.next];
+        ++f.next;
+        const std::int32_t pn = pr.node;
+        if (pn < 0 || visit_[static_cast<std::size_t>(pn)] == visit_token_)
+          continue;
+        visit_[static_cast<std::size_t>(pn)] = visit_token_;
+        stack_[sp++] = DfsFrame{pn, 0};
+        descended = true;
+        break;
+      }
+      if (descended) continue;
+      order_[produced++] = f.node;
+      --sp;
     }
-    if (descended) continue;
-    order_[produced++] = f.node;
-    --sp;
   }
-  // Reverse post-order = execution order (root first).
+  // Reverse post-order = execution order (roots first).
   order_.resize(produced);
   std::reverse(order_.begin(), order_.end());
 }
@@ -564,23 +574,53 @@ void Tape::retire() {
 
 void Tape::execute_backward(
     const std::shared_ptr<mfa::detail::TensorImpl>& root) {
-  gstats().backwards.fetch_add(1, std::memory_order_relaxed);
   root->ensure_grad();
   root->grad[0] = 1.0f;
   const bool on_tape =
       root->tape_id >= 0 && root->tape_epoch == epoch_ &&
       static_cast<std::size_t>(root->tape_id) < nodes_.size();
   if (!on_tape) {
+    gstats().backwards.fetch_add(1, std::memory_order_relaxed);
     // Leaf root (parameter, detached tensor, or survivor of a retired
     // graph): d(root)/d(root) = 1 and nothing propagates. The recorded
     // graph, if any, stays live for a later backward from a taped root.
     return;
   }
+  root_ids_.clear();
+  root_ids_.push_back(root->tape_id);
+  run_planned();
+}
+
+void Tape::execute_backward(
+    const std::vector<std::shared_ptr<mfa::detail::TensorImpl>>& roots) {
+  root_ids_.clear();
+  for (const auto& root : roots) {
+    // Seed with += (not =): the pass computes d(sum of roots)/dθ, and a
+    // root listed twice contributes twice, matching the sum semantics.
+    root->ensure_grad();
+    root->grad[0] += 1.0f;
+    const bool on_tape =
+        root->tape_id >= 0 && root->tape_epoch == epoch_ &&
+        static_cast<std::size_t>(root->tape_id) < nodes_.size();
+    if (on_tape) root_ids_.push_back(root->tape_id);
+  }
+  if (root_ids_.empty()) {
+    // Every root is a leaf: each got its seed, nothing propagates, and the
+    // recorded graph (if any) stays live — same contract as the single-root
+    // leaf case.
+    gstats().backwards.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  run_planned();
+}
+
+void Tape::run_planned() {
+  gstats().backwards.fetch_add(1, std::memory_order_relaxed);
   MFA_CHECK(!executing_) << " re-entrant backward()";
   executing_ = true;
   const bool scan_grads = check::finite_grad_checks_enabled();
   try {
-    plan_order(root->tape_id);
+    plan_order(root_ids_.data(), root_ids_.size());
     // Diagnostics pin the sequential walk: race tracking so declared-write
     // reports observe one canonical schedule (byte-identical across
     // MFA_EXEC), finite-grad scanning so NaN attribution follows the

@@ -177,6 +177,20 @@ class Tape {
   /// clean after a throwing backward.
   void execute_backward(const std::shared_ptr<mfa::detail::TensorImpl>& root);
 
+  /// Multi-root variant: computes the gradient of the SUM of the (scalar)
+  /// roots in one reverse pass over the union of their subgraphs — the
+  /// two-head training shape (main loss + auxiliary head, or a cGAN's
+  /// generator/discriminator pair sharing a trunk). Each root is seeded with
+  /// +1 (a root listed twice therefore contributes twice); roots that are
+  /// leaves or ancestors of other roots are both fine — an interior root
+  /// simply receives its seed on top of the gradient scattered by its
+  /// consumers. The execution order is the reverse of the concatenated DFS
+  /// post-orders (restarted per root over one shared visited set), a linear
+  /// extension of the union DAG, so the chain-edge determinism contract and
+  /// the seq/graph bit-identity carry over unchanged.
+  void execute_backward(
+      const std::vector<std::shared_ptr<mfa::detail::TensorImpl>>& roots);
+
   // ---- arena ----
 
   /// Buffer for an op output: zero-filled, from the arena when it may serve
@@ -228,8 +242,9 @@ class Tape {
     std::uint32_t next;  // next parent slot to visit
   };
 
-  void plan_order(std::int32_t root_id);
+  void plan_order(const std::int32_t* roots, std::size_t num_roots);
   void plan_schedule();  // fusion + levels; graph mode only
+  void run_planned();    // plan + execute + retire from root_ids_
   void run_seq(bool scan_grads);
   void run_graph();
   void run_task(std::uint32_t task);
@@ -260,6 +275,7 @@ class Tape {
   std::uint64_t plan_token_ = 0;  // stamps TensorImpl::plan_stamp
   std::vector<DfsFrame> stack_;
   std::vector<std::int32_t> order_;  // execution order (root first)
+  std::vector<std::int32_t> root_ids_;  // taped roots of the current backward
   std::vector<mfa::detail::TensorImpl*> leaves_;  // scan-mode leaf list
   std::vector<std::uint32_t> consumers_;          // per node id
   std::vector<std::uint32_t> task_begin_;  // task t = order_[begin[t], begin[t+1])

@@ -179,6 +179,20 @@ void Tensor::backward() {
   tensor::Tape::current().execute_backward(impl_);
 }
 
+void Tensor::backward_multi(const std::vector<Tensor>& roots) {
+  MFA_CHECK(!roots.empty()) << " backward_multi() with no roots";
+  std::vector<std::shared_ptr<detail::TensorImpl>> impls;
+  impls.reserve(roots.size());
+  for (const Tensor& r : roots) {
+    MFA_CHECK(r.impl_) << " backward_multi() on undefined tensor";
+    MFA_CHECK_EQ(r.numel(), 1)
+        << " backward_multi() requires scalar roots, got shape "
+        << shape_str(r.impl_->shape);
+    impls.push_back(r.impl_);
+  }
+  tensor::Tape::current().execute_backward(impls);
+}
+
 Tensor Tensor::detach() const {
   MFA_CHECK(impl_) << " detach() on undefined tensor";
   auto impl = std::make_shared<detail::TensorImpl>();

@@ -132,6 +132,13 @@ class Tensor {
   void zero_grad();
   /// Runs reverse-mode AD from this (scalar) tensor.
   void backward();
+  /// Runs reverse-mode AD from several scalar roots in one pass, computing
+  /// the gradient of their SUM over the union of their subgraphs (two-head
+  /// training: main loss + auxiliary head). All roots must live on the
+  /// calling thread's tape; the whole tape retires afterwards, exactly like
+  /// backward(). Duplicate roots accumulate; leaf roots just receive their
+  /// seed gradient.
+  static void backward_multi(const std::vector<Tensor>& roots);
   /// Same data, detached from the tape.
   Tensor detach() const;
   /// Deep copy (data only, leaf).

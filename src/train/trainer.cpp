@@ -237,13 +237,23 @@ FitReport Trainer::fit_resumable(models::CongestionModel& model,
         optimizer->zero_grad();
         Tensor logits = model.forward(features);
         Tensor loss = ops::cross_entropy(logits, labels);
-        const double batch_loss = loss.item();
+        // Auxiliary head (e.g. LHNN's net-level regression): both scalars
+        // backpropagate in one multi-root pass over the shared subgraph,
+        // and the auxiliary term joins the divergence monitor so a blowing
+        // up side head triggers the same rollback as the main loss.
+        Tensor aux = model.take_auxiliary_loss();
+        double batch_loss = loss.item();
+        if (aux.defined()) batch_loss += aux.item();
         if (!std::isfinite(batch_loss)) {
           failed = true;
           why = "non-finite batch loss";
           break;
         }
-        loss.backward();
+        if (aux.defined()) {
+          Tensor::backward_multi({loss, aux});
+        } else {
+          loss.backward();
+        }
         optimizer->step();
         epoch_loss += batch_loss;
         ++batches;

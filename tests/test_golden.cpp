@@ -236,5 +236,121 @@ TEST(Golden, EndToEndHashIsBitIdenticalAcrossThreadPoolAndExecConfigs) {
   }
 }
 
+// ---- LHNN golden gate ----------------------------------------------------
+//
+// Same determinism contract, aimed at the sparse-op stack: a 2-epoch LHNN
+// fit (cell->net gather, net->lattice scatter, multi-root backward through
+// the auxiliary net head) followed by predict_levels, hashing the predicted
+// level map AND every trained parameter. This pins the slot-partitioned
+// scatter accumulation and the multi-root union plan the same way the main
+// gate pins the dense stack.
+
+std::uint64_t run_lhnn_hash(const std::vector<train::Sample>& samples) {
+  models::ModelConfig config;
+  config.grid = 32;
+  config.base_channels = 4;
+  config.transformer_layers = 1;
+  config.seed = 3;
+  auto model = models::make_model("lhnn", config);
+  train::TrainOptions topt;
+  topt.epochs = 2;
+  topt.batch_size = 2;
+  topt.seed = 1;
+  topt.resume = false;
+  train::Trainer::fit(*model, samples, topt);
+
+  Tensor batched = ops::reshape(
+      samples[0].features,
+      {1, samples[0].features.size(0), samples[0].features.size(1),
+       samples[0].features.size(2)});
+  Tensor pred = model->predict_levels(batched);
+
+  Fnv1a fnv;
+  for (std::int64_t i = 0; i < pred.numel(); ++i) fnv.f32(pred.data()[i]);
+  for (const Tensor& p : model->network().parameters())
+    for (std::int64_t i = 0; i < p.numel(); ++i) fnv.f32(p.data()[i]);
+  return fnv.h;
+}
+
+// Pinned per GEMM variant like kGoldenHashPerVariant. Unlike the main gate
+// this hash covers raw trained parameters (not threshold-protected discrete
+// levels), so the scalar variant legitimately differs from the FMA-using
+// SIMD variants; avx2 and avx512 coincide because the LHNN shapes at C=4
+// stay under the avx512 kernel's width threshold.
+constexpr std::uint64_t kLhnnHashPerVariant[kernels::kNumVariants] = {
+    0xb81e388c702e2a79ULL,  // scalar
+    0xa3246cf14d139a14ULL,  // avx2
+    0xa3246cf14d139a14ULL,  // avx512
+};
+
+TEST(Golden, LhnnTrainPredictHashIsBitIdenticalAcrossConfigs) {
+  auto& thread_pool = common::ThreadPool::instance();
+  auto& storage_pool = tensor::StoragePool::instance();
+  auto& tape = tensor::Tape::current();
+  const bool pool_was_enabled = storage_pool.enabled();
+  const tensor::Executor exec_prev = tape.executor();
+
+  // Dataset built once outside the matrix: its placer/feature path is
+  // covered by the main gate; this test isolates the model stack.
+  const auto device = fpga::DeviceGrid::make_xcvu3p_like(40, 32);
+  netlist::DesignSpec spec = netlist::mlcad2023_spec("Design_116");
+  spec.lut_util *= 0.4;
+  spec.ff_util *= 0.4;
+  spec.dsp_util *= 0.6;
+  spec.bram_util *= 0.6;
+  train::DatasetOptions dopt;
+  dopt.grid = 32;
+  dopt.placements_per_design = 2;
+  dopt.augment_rotations = false;
+  dopt.placer_iterations = 40;
+  dopt.seed = 7;
+  const auto samples =
+      train::DatasetBuilder::build_for_design(spec, device, dopt);
+
+  const GoldenConfig configs[] = {
+      {1, true, tensor::Executor::kSeq},
+      {4, true, tensor::Executor::kSeq},
+      {1, false, tensor::Executor::kSeq},
+      {4, false, tensor::Executor::kSeq},
+      {1, true, tensor::Executor::kGraph},
+      {4, true, tensor::Executor::kGraph},
+      {1, false, tensor::Executor::kGraph},
+      {4, false, tensor::Executor::kGraph},
+  };
+  for (int v = 0; v < kernels::kNumVariants; ++v) {
+    if (!kernels::variant_supported(static_cast<kernels::Variant>(v))) {
+      continue;
+    }
+    ASSERT_TRUE(kernels::set_variant_override(v));
+    std::vector<std::uint64_t> hashes;
+    for (const auto& cfg : configs) {
+      thread_pool.resize_for_testing(cfg.threads);
+      storage_pool.set_enabled(cfg.pool);
+      tape.set_executor_for_testing(cfg.exec);
+      hashes.push_back(run_lhnn_hash(samples));
+    }
+    thread_pool.resize_for_testing(1);
+    storage_pool.set_enabled(pool_was_enabled);
+    tape.set_executor_for_testing(exec_prev);
+
+    const char* vname =
+        kernels::variant_name(static_cast<kernels::Variant>(v));
+    for (size_t i = 1; i < hashes.size(); ++i) {
+      EXPECT_EQ(hashes[0], hashes[i])
+          << "[" << vname << "] LHNN hash diverged between config 0 and "
+          << "config " << i << " (threads=" << configs[i].threads
+          << ", pool=" << (configs[i].pool ? "on" : "off") << ", exec="
+          << (configs[i].exec == tensor::Executor::kSeq ? "seq" : "graph")
+          << ")";
+    }
+    EXPECT_EQ(hashes[0], kLhnnHashPerVariant[v])
+        << "[" << vname << "] LHNN golden hash changed. If intentional, "
+        << "update kLhnnHashPerVariant[" << v
+        << "] in tests/test_golden.cpp to 0x" << std::hex << hashes[0]
+        << "; otherwise bisect the regression.";
+  }
+  kernels::set_variant_override(-1);
+}
+
 }  // namespace
 }  // namespace mfa

@@ -3,13 +3,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "netlist/generator.h"
 #include "place/inflation.h"
 #include "place/legalizer.h"
 #include "place/placer.h"
 #include "route/router.h"
 #include "route/score.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
 
 namespace mfa {
 namespace {
@@ -154,6 +160,54 @@ TEST_P(CalibratedGrid, CapacityInverselyProportionalToGrid) {
 
 INSTANTIATE_TEST_SUITE_P(Grids, CalibratedGrid,
                          ::testing::Values(16, 32, 64, 128));
+
+// ---- sparse reductions bitwise thread-count independent ------------------
+//
+// The scatter-family ops accumulate through a fixed slot partition of the
+// index dimension (tensor/ops_sparse.cpp), so the float summation order is a
+// function of the problem SIZE only, never of MFA_THREADS. Sweeping sizes
+// covers both slotting regimes: M < 16 (fewer slots than the cap) and
+// M >= 16 (full 16-way partition).
+
+class SparseSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseSizes, ScatterAndSegmentSumBitwiseAcrossThreadCounts) {
+  const std::int64_t m = GetParam();
+  const std::int64_t rows = std::max<std::int64_t>(2, m / 3);
+  Rng rng(static_cast<std::uint64_t>(1000 + m));
+  std::vector<float> ids(static_cast<std::size_t>(m));
+  for (auto& id : ids)
+    id = static_cast<float>(rng.uniform_int(0, rows - 1));  // heavy duplication
+  const Tensor index = Tensor::from_data({m}, std::move(ids));
+  Tensor src = Tensor::randn({m, 5}, rng, 1.0f, /*requires_grad=*/true);
+
+  auto& pool = common::ThreadPool::instance();
+  const int threads_prev = pool.size();
+  std::vector<std::vector<float>> runs;
+  for (const int threads : {1, 2, 3, 8}) {
+    pool.resize_for_testing(threads);
+    src.zero_grad();
+    Tensor scat = ops::scatter_add_rows(src, index, rows);
+    Tensor seg = ops::segment_sum(ops::mul(src, src), index, rows);
+    ops::sum(ops::mul(scat, ops::add_scalar(seg, 1.0f))).backward();
+    std::vector<float> bits = scat.to_vector();
+    const auto sv = seg.to_vector();
+    const auto gv = src.grad().to_vector();
+    bits.insert(bits.end(), sv.begin(), sv.end());
+    bits.insert(bits.end(), gv.begin(), gv.end());
+    runs.push_back(std::move(bits));
+  }
+  pool.resize_for_testing(threads_prev);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    ASSERT_EQ(runs[0].size(), runs[i].size());
+    EXPECT_EQ(0, std::memcmp(runs[0].data(), runs[i].data(),
+                             runs[0].size() * sizeof(float)))
+        << "m=" << m << ": thread config " << i << " diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseSizes,
+                         ::testing::Values(1, 7, 15, 16, 100, 1000));
 
 }  // namespace
 }  // namespace mfa

@@ -26,6 +26,7 @@
 #include "common/sanitize.h"
 #include "common/thread_pool.h"
 #include "models/congestion_model.h"
+#include "tensor/ops.h"
 #include "tensor/storage.h"
 #include "tensor/tensor.h"
 #include "train/dataset.h"
@@ -210,6 +211,59 @@ TEST(SanitizeSchedule, RaceReportIsIdenticalForEveryPoolSize) {
     });
   }
   EXPECT_EQ(reports[0], reports[1]);
+}
+
+TEST(SanitizeSchedule, OverlappingScatterRaceReportIsByteIdentical) {
+  if (!sanitize::compiled_in())
+    GTEST_SKIP() << "storage sanitizer compiled out (NDEBUG build)";
+  // A buggy variant of the slot-partitioned scatter accumulation
+  // (tensor/ops_sparse.cpp): each slot declares the WHOLE accumulator
+  // instead of its own [slot*rd, (slot+1)*rd) stripe — the forgotten-offset
+  // bug the real kernel's note_parallel_write guards against. The report
+  // must be byte-identical across pool sizes, because slot identity comes
+  // from the fixed virtual partition, not the worker schedule.
+  constexpr std::int64_t kSlots = 16;
+  constexpr std::int64_t kRd = 8 * 4;  // rows x row width
+  std::string reports[2];
+  const int sizes[2] = {1, 4};
+  const SanitizeEnv outer(1);
+  Storage acc = Storage::full(kSlots * kRd, 0.0f);  // one buffer: same address
+  float* av = acc.data();
+  for (int i = 0; i < 2; ++i) {
+    common::ThreadPool::instance().resize_for_testing(sizes[i]);
+    reports[i] = capture_violation([&] {
+      parallel_for(
+          kSlots,
+          [&](std::int64_t, std::int64_t s1) {
+            sanitize::note_parallel_write(av, 0, s1 * kRd);
+          },
+          /*grain=*/1);
+    });
+  }
+  EXPECT_NE(reports[0].find("sanitize[race]"), std::string::npos)
+      << reports[0];
+  EXPECT_EQ(reports[0], reports[1]);
+}
+
+TEST(SanitizeSchedule, RealScatterOpsReportZeroRacesUnderParallelPool) {
+  if (!sanitize::compiled_in())
+    GTEST_SKIP() << "storage sanitizer compiled out (NDEBUG build)";
+  // The shipping sparse ops must pass their own declared-write audit: a
+  // forward+backward pass over every reduction-bearing op with 4 workers
+  // reports zero violations while the race checker demonstrably ran.
+  const SanitizeEnv env(4);
+  Rng rng(23);
+  Tensor x = Tensor::randn({64, 8}, rng, 1.0f, /*requires_grad=*/true);
+  std::vector<float> ids(256);
+  for (auto& id : ids) id = static_cast<float>(rng.uniform_int(0, 63));
+  const Tensor index = Tensor::from_data({256}, std::move(ids));
+  Tensor pin = ops::gather_rows(x, index);
+  Tensor net = ops::segment_mean(pin, index, 64);
+  Tensor cells = ops::scatter_add_rows(ops::gather_rows(net, index), index, 64);
+  ops::sum(ops::mul(cells, cells)).backward();
+  const auto c = sanitize::counts();
+  EXPECT_EQ(c.race, 0) << "declared parallel writes overlap in a sparse op";
+  EXPECT_EQ(c.total(), 0);
 }
 
 // ---- defect class 4: refcount discipline --------------------------------

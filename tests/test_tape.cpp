@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -438,6 +439,132 @@ TEST(TapeRetire, BackwardFromLeafLeavesRecordedGraphLive) {
   const auto av = a.to_vector();
   for (size_t i = 0; i < ga.size(); ++i)
     EXPECT_NEAR(ga[i], 2.0f * av[i], 1e-4f);
+}
+
+// ---- multi-root backward (Tensor::backward_multi) ------------------------
+
+/// Two scalar heads over a shared trunk: head1 = sum(relu(w*x)),
+/// head2 = sum((w*x)^2) — both consume the same intermediate, so the union
+/// graph exercises shared-parent chain edges between the heads' closures.
+void two_head_graph(Tensor& w, Tensor& x, Tensor& head1, Tensor& head2) {
+  Tensor trunk = mul(w, x);
+  head1 = sum(relu(trunk));
+  head2 = sum(mul(trunk, trunk));
+}
+
+TEST(TapeMultiRoot, TwoHeadGradsBitwiseIdenticalSeqVsGraph) {
+  std::vector<std::vector<float>> runs;
+  for (const Executor exec : {Executor::kSeq, Executor::kGraph}) {
+    for (const int threads : {1, 4}) {
+      const TapeEnv env(exec, threads);
+      Tensor w = make_input({256}, 101, 0.5f);
+      Tensor x = make_input({256}, 102, 0.5f);
+      Tensor head1, head2;
+      two_head_graph(w, x, head1, head2);
+      Tensor::backward_multi({head1, head2});
+      std::vector<float> flat = w.grad().to_vector();
+      const auto gx = x.grad().to_vector();
+      flat.insert(flat.end(), gx.begin(), gx.end());
+      runs.push_back(std::move(flat));
+    }
+  }
+  for (size_t i = 1; i < runs.size(); ++i) {
+    ASSERT_EQ(runs[0].size(), runs[i].size());
+    EXPECT_EQ(0, std::memcmp(runs[0].data(), runs[i].data(),
+                             runs[0].size() * sizeof(float)))
+        << "config " << i << " diverged from seq/t1";
+  }
+}
+
+TEST(TapeMultiRoot, MatchesBackwardOfExplicitSum) {
+  // d(h1 + h2)/dθ computed by one multi-root pass must equal the gradient
+  // of the literal sum node: the add's backward scatters the same seed the
+  // multi-root path plants directly.
+  const TapeEnv env(Executor::kGraph, 4);
+  Tensor w1 = make_input({64}, 103, 0.5f);
+  Tensor x1 = make_input({64}, 104, 0.5f);
+  Tensor h1a, h2a;
+  two_head_graph(w1, x1, h1a, h2a);
+  Tensor::backward_multi({h1a, h2a});
+  const auto gw_multi = w1.grad().to_vector();
+
+  Tensor w2 = make_input({64}, 103, 0.5f);
+  Tensor x2 = make_input({64}, 104, 0.5f);
+  Tensor h1b, h2b;
+  two_head_graph(w2, x2, h1b, h2b);
+  add(h1b, h2b).backward();
+  const auto gw_sum = w2.grad().to_vector();
+  ASSERT_EQ(gw_multi.size(), gw_sum.size());
+  EXPECT_EQ(0, std::memcmp(gw_multi.data(), gw_sum.data(),
+                           gw_multi.size() * sizeof(float)));
+}
+
+TEST(TapeMultiRoot, DuplicateRootAccumulatesItsSeed) {
+  const TapeEnv env(Executor::kSeq, 1);
+  Tensor a = make_input({32}, 105, 0.5f);
+  Tensor loss = sum(mul(a, a));
+  Tensor::backward_multi({loss, loss});
+  const auto g = a.grad().to_vector();
+  const auto av = a.to_vector();
+  // Seed 2.0 -> gradient 2 * 2a, exactly (power-of-two scaling).
+  for (size_t i = 0; i < g.size(); ++i)
+    EXPECT_EQ(g[i], 4.0f * av[i]);
+}
+
+TEST(TapeMultiRoot, LeafRootIsSeededWhileTapedRootPropagates) {
+  const TapeEnv env(Executor::kGraph, 1);
+  Tensor a = make_input({16}, 107, 0.5f);
+  Tensor leaf = Tensor::scalar(2.0f, /*requires_grad=*/true);
+  Tensor loss = sum(mul(a, a));
+  Tensor::backward_multi({loss, leaf});
+  EXPECT_EQ(leaf.grad().item(), 1.0f);
+  const auto g = a.grad().to_vector();
+  const auto av = a.to_vector();
+  for (size_t i = 0; i < g.size(); ++i) EXPECT_EQ(g[i], 2.0f * av[i]);
+}
+
+TEST(TapeMultiRoot, InteriorRootReceivesSeedOnTopOfScatteredGradient) {
+  // head2 depends on head1's subgraph THROUGH trunk, and head1 itself is a
+  // root: an interior-ish mix. Use y = sum(x^2), roots {y, z} with
+  // z = sum(relu(x)): gradient = 2x + relu'(x).
+  const TapeEnv env(Executor::kSeq, 1);
+  Tensor x = make_input({64}, 109, 0.5f);
+  Tensor y = sum(mul(x, x));
+  Tensor z = sum(relu(x));
+  Tensor::backward_multi({y, z});
+  const auto g = x.grad().to_vector();
+  const auto xv = x.to_vector();
+  for (size_t i = 0; i < g.size(); ++i)
+    EXPECT_NEAR(g[i], 2.0f * xv[i] + (xv[i] > 0.0f ? 1.0f : 0.0f), 1e-5f);
+}
+
+TEST(TapeMultiRoot, UnionPlanCountsSharedSubgraphOnce) {
+  const TapeEnv env(Executor::kGraph, 1);
+  Tensor w = make_input({64}, 111, 0.5f);
+  Tensor x = make_input({64}, 112, 0.5f);
+  Tensor head1, head2;
+  two_head_graph(w, x, head1, head2);
+  // Nodes: mul(trunk), relu, sum(h1), mul(sq), sum(h2) = 5 — the shared
+  // trunk appears once in the union plan, not per root.
+  Tensor::backward_multi({head1, head2});
+  EXPECT_EQ(Tape::current().last_plan().nodes, 5);
+}
+
+TEST(TapeMultiRoot, PlanBookkeepingStaysZeroAllocAfterWarmup) {
+  const TapeEnv env(Executor::kGraph, 4);
+  auto run = [&] {
+    Tensor w = make_input({128}, 113, 0.5f);
+    Tensor x = make_input({128}, 114, 0.5f);
+    Tensor head1, head2;
+    two_head_graph(w, x, head1, head2);
+    Tensor::backward_multi({head1, head2});
+  };
+  run();
+  run();
+  const std::int64_t after_warmup = Tape::current().plan_grow_events();
+  for (int i = 0; i < 3; ++i) run();
+  EXPECT_EQ(Tape::current().plan_grow_events(), after_warmup)
+      << "multi-root planning must reuse the plan scratch vectors";
 }
 
 }  // namespace
